@@ -1,0 +1,118 @@
+// Command radiosim runs a single broadcasting or leader election protocol
+// on a generated radio network topology and prints the outcome.
+//
+// Examples:
+//
+//	radiosim -topology grid -rows 16 -cols 64 -algo cd17
+//	radiosim -topology cliquepath -k 32 -s 8 -algo bgi -seed 7
+//	radiosim -topology geometric -n 500 -radius 0.08 -task leader
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radionet"
+	"radionet/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radiosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topology = flag.String("topology", "grid", "topology: path|cycle|grid|cliquepath|caterpillar|tree|geometric|gnp|hypercube")
+		n        = flag.Int("n", 256, "node count (path, cycle, geometric, gnp)")
+		rows     = flag.Int("rows", 16, "grid rows")
+		cols     = flag.Int("cols", 16, "grid cols")
+		k        = flag.Int("k", 16, "cliquepath clique count / caterpillar spine / tree depth")
+		s        = flag.Int("s", 8, "cliquepath clique size / caterpillar legs / tree arity")
+		radius   = flag.Float64("radius", 0.1, "geometric radius")
+		p        = flag.Float64("p", 0.02, "gnp edge probability")
+		dim      = flag.Int("dim", 8, "hypercube dimension")
+		task     = flag.String("task", "broadcast", "task: broadcast|leader")
+		algo     = flag.String("algo", "cd17", "broadcast algo: cd17|hw16|bgi|truncated-decay; leader algo: cd17|binary-search|max-broadcast")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		value    = flag.Int64("value", 42, "broadcast message value")
+		source   = flag.Int("source", 0, "broadcast source node")
+		max      = flag.Int64("maxrounds", 0, "round budget (0 = algorithm default)")
+		doTrace  = flag.Bool("trace", false, "print a channel activity report after the run")
+	)
+	flag.Parse()
+
+	var g *radionet.Graph
+	switch *topology {
+	case "path":
+		g = radionet.Path(*n)
+	case "cycle":
+		g = radionet.Cycle(*n)
+	case "grid":
+		g = radionet.Grid(*rows, *cols)
+	case "cliquepath":
+		g = radionet.PathOfCliques(*k, *s)
+	case "caterpillar":
+		g = radionet.Caterpillar(*k, *s)
+	case "tree":
+		g = radionet.BalancedTree(*s, *k)
+	case "geometric":
+		g = radionet.RandomGeometric(*n, *radius, *seed)
+	case "gnp":
+		g = radionet.Gnp(*n, *p, *seed)
+	case "hypercube":
+		g = radionet.Hypercube(*dim)
+	default:
+		return fmt.Errorf("unknown topology %q", *topology)
+	}
+	net := radionet.NewNetwork(g)
+	fmt.Printf("network: %v, diameter=%d\n", g, net.Diameter)
+
+	switch *task {
+	case "broadcast":
+		var rec *trace.Recorder
+		opts := radionet.BroadcastOptions{
+			Algorithm: radionet.Algorithm(*algo),
+			Seed:      *seed,
+			MaxRounds: *max,
+		}
+		if *doTrace {
+			rec = &trace.Recorder{}
+			opts.Hook = rec.HookFunc()
+		}
+		res, err := net.Broadcast(*source, *value, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("broadcast(%s): done=%v rounds=%d precompute=%d\n",
+			*algo, res.Done, res.Rounds, res.PrecomputeRounds)
+		if rec != nil {
+			if err := rec.Report(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if !res.Done {
+			return fmt.Errorf("broadcast did not complete within budget")
+		}
+	case "leader":
+		res, err := net.LeaderElection(radionet.LeaderOptions{
+			Algorithm: radionet.LeaderAlgorithm(*algo),
+			Seed:      *seed,
+			MaxRounds: *max,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("leader(%s): done=%v rounds=%d leader=node%d id=%d candidates=%d\n",
+			*algo, res.Done, res.Rounds, res.Leader, res.LeaderID, len(res.Candidates))
+		if !res.Done {
+			return fmt.Errorf("election did not complete within budget")
+		}
+	default:
+		return fmt.Errorf("unknown task %q", *task)
+	}
+	return nil
+}

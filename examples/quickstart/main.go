@@ -1,0 +1,25 @@
+// Quickstart: broadcast a message through a 16x64 grid radio network with
+// the paper's algorithm and print how many synchronous radio rounds it
+// took for every node to learn it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radionet"
+)
+
+func main() {
+	g := radionet.Grid(16, 64)
+	net := radionet.NewNetwork(g)
+	fmt.Printf("network: %v, diameter D=%d\n", g, net.Diameter)
+
+	res, err := net.Broadcast(0, 42, radionet.BroadcastOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CD17 broadcast: done=%v in %d radio rounds (precompute charged: %d)\n",
+		res.Done, res.Rounds, res.PrecomputeRounds)
+	fmt.Printf("that is %.1f rounds per hop of diameter\n", float64(res.Rounds)/float64(net.Diameter))
+}

@@ -1,0 +1,37 @@
+// Sensorfield: the motivating scenario of the radio network model — an
+// ad-hoc field of wireless sensors (a random geometric / unit-disk graph)
+// in which a gateway node must disseminate a firmware epoch to every
+// sensor. Compares the paper's spontaneous-transmission algorithm with
+// the classical Decay broadcast on the same deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radionet"
+)
+
+func main() {
+	const (
+		sensors = 600
+		radius  = 0.06
+		seed    = 2024
+	)
+	g := radionet.RandomGeometric(sensors, radius, seed)
+	net := radionet.NewNetwork(g)
+	fmt.Printf("sensor field: %v, diameter D=%d, max degree %d\n",
+		g, net.Diameter, g.MaxDegree())
+
+	gateway := 0
+	for _, algo := range []radionet.Algorithm{radionet.CD17, radionet.BGI, radionet.TruncatedDecay} {
+		res, err := net.Broadcast(gateway, 7, radionet.BroadcastOptions{Algorithm: algo, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s done=%v rounds=%-8d rounds/D=%.1f precompute=%d\n",
+			algo, res.Done, res.Rounds, float64(res.Rounds)/float64(net.Diameter), res.PrecomputeRounds)
+	}
+	fmt.Println("\nCD17 pays a one-time precompute charge to learn local contention;")
+	fmt.Println("the oblivious baselines pay log n on every hop instead.")
+}

@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"testing"
+
+	"radionet/internal/compete"
+	"radionet/internal/graph"
+)
+
+func TestTruncatedDecayLevels(t *testing.T) {
+	tests := []struct{ n, d, want int }{
+		{1024, 1024, 2}, // n == D: minimal phases
+		{1024, 64, 6},   // n/D = 16 -> log2(16)+2 = 6
+		{1024, 1, 12},   // star-like: full decay scale
+		{16, 1000, 2},   // d > n clamps
+	}
+	for _, tc := range tests {
+		if got := TruncatedDecayLevels(tc.n, tc.d); got != tc.want {
+			t.Errorf("TruncatedDecayLevels(%d,%d) = %d, want %d", tc.n, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestTruncatedDecayCompletesOnLongDiameter(t *testing.T) {
+	// The surrogate's home turf: layers with few competitors.
+	g := graph.Path(200)
+	bc := NewTruncatedDecay(g, 199, 3, map[int]int64{0: 5})
+	if _, done := bc.Run(1 << 20); !done {
+		t.Fatal("truncated decay broadcast did not finish on a path")
+	}
+}
+
+func TestTruncatedDecayCompletesOnCliquePath(t *testing.T) {
+	g := graph.PathOfCliques(16, 8)
+	bc := NewTruncatedDecay(g, g.Diameter(), 3, map[int]int64{0: 5})
+	if _, done := bc.Run(1 << 22); !done {
+		t.Fatal("truncated decay broadcast did not finish on clique path")
+	}
+}
+
+func TestSampleCandidates(t *testing.T) {
+	for _, n := range []int{8, 100, 5000} {
+		cands, err := SampleCandidates(n, 7, 2, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) == 0 {
+			t.Fatalf("n=%d: empty candidate set", n)
+		}
+		seen := make(map[int64]bool)
+		for v, id := range cands {
+			if v < 0 || v >= n {
+				t.Fatalf("candidate %d out of range", v)
+			}
+			if id < 0 || seen[id] {
+				t.Fatalf("bad or duplicate ID %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if _, err := SampleCandidates(0, 1, 2, 40); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := SampleCandidates(10, 1, 2, 63); err == nil {
+		t.Fatal("idBits=63 accepted")
+	}
+}
+
+func TestSampleCandidatesDeterministic(t *testing.T) {
+	a, _ := SampleCandidates(500, 42, 2, 40)
+	b, _ := SampleCandidates(500, 42, 2, 40)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic candidate count")
+	}
+	for v, id := range a {
+		if b[v] != id {
+			t.Fatal("non-deterministic candidate IDs")
+		}
+	}
+}
+
+func TestBinarySearchLE(t *testing.T) {
+	g := graph.Grid(7, 7)
+	le, err := NewBinarySearchLE(g, g.Diameter(), 11, 2, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := le.Run()
+	if !res.Done || res.Leader < 0 {
+		t.Fatalf("binary search failed: %+v", res)
+	}
+	// The winner must be the true max candidate ID.
+	var max int64 = -1
+	for _, id := range le.Candidates() {
+		if id > max {
+			max = id
+		}
+	}
+	if res.LeaderID != max {
+		t.Fatalf("winner %d, true max %d", res.LeaderID, max)
+	}
+	if res.Rounds != int64(16)*leTBC(g.N(), g.Diameter()) {
+		t.Fatalf("rounds %d not IDBits*T_BC", res.Rounds)
+	}
+}
+
+func leTBC(n, d int) int64 {
+	l := int64(levels(n))
+	return 3 * (int64(d) + l) * l
+}
+
+func levels(n int) int {
+	l := 1
+	for m := 2; m < n; m <<= 1 {
+		l++
+	}
+	return l
+}
+
+func TestMaxBroadcastLE(t *testing.T) {
+	g := graph.PathOfCliques(6, 5)
+	le, err := NewMaxBroadcastLE(g, g.Diameter(), 13, 2, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := le.Run()
+	if !res.Done || res.Leader < 0 {
+		t.Fatalf("max-broadcast LE failed: %+v", res)
+	}
+	if got := le.Candidates()[res.Leader]; got != res.LeaderID {
+		t.Fatalf("leader's ID %d != winner %d", got, res.LeaderID)
+	}
+}
+
+func TestHW16Mode(t *testing.T) {
+	g := graph.Path(48)
+	b, err := NewHW16Broadcast(g, 47, compete.Config{}, 5, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := b.Run(4 * b.Budget()); !done {
+		t.Fatal("HW16-mode broadcast incomplete")
+	}
+}
+
+func TestBinarySearchVsMaxBroadcastOrdering(t *testing.T) {
+	// The headline LE comparison: binary search pays IDBits broadcasts,
+	// the max-broadcast approach pays ~one.
+	g := graph.Grid(8, 8)
+	bs, err := NewBinarySearchLE(g, g.Diameter(), 21, 2, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := NewMaxBroadcastLE(g, g.Diameter(), 21, 2, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := bs.Run()
+	rm := mb.Run()
+	if !rb.Done || !rm.Done {
+		t.Fatalf("runs incomplete: %+v %+v", rb, rm)
+	}
+	if rm.Rounds >= rb.Rounds {
+		t.Fatalf("max-broadcast (%d) not faster than binary search (%d)", rm.Rounds, rb.Rounds)
+	}
+}

@@ -1,0 +1,125 @@
+package cd
+
+import (
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/rng"
+)
+
+func TestBeepWaveOnPathExactRounds(t *testing.T) {
+	g := graph.Path(50)
+	b, err := NewBroadcast(g, 0, 0b1011001) // 7 bits
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := b.RoundsNeeded(49)
+	rounds, done := b.Run(budget + 8)
+	if !done {
+		t.Fatalf("beep-wave incomplete after %d rounds", rounds)
+	}
+	if rounds > budget+1 {
+		t.Fatalf("took %d rounds, deterministic bound is %d", rounds, budget)
+	}
+	for v, val := range b.Values() {
+		if val != 0b1011001 {
+			t.Fatalf("node %d decoded %b", v, val)
+		}
+	}
+}
+
+func TestBeepWaveFamilies(t *testing.T) {
+	r := rng.New(3)
+	for _, g := range []*graph.Graph{
+		graph.Grid(9, 13),
+		graph.PathOfCliques(7, 5),
+		graph.BalancedTree(3, 4),
+		graph.Star(40),
+		graph.Gnp(80, 0.06, r),
+	} {
+		b, err := NewBroadcast(g, 0, 123456)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecc := g.Eccentricity(0)
+		rounds, done := b.Run(b.RoundsNeeded(ecc) + 8)
+		if !done {
+			t.Fatalf("%v: incomplete after %d rounds", g, rounds)
+		}
+		for v, val := range b.Values() {
+			if val != 123456 {
+				t.Fatalf("%v: node %d decoded %d", g, v, val)
+			}
+		}
+	}
+}
+
+func TestBeepWaveDeterministic(t *testing.T) {
+	g := graph.Grid(6, 8)
+	b1, _ := NewBroadcast(g, 0, 999)
+	b2, _ := NewBroadcast(g, 0, 999)
+	r1, _ := b1.Run(1 << 16)
+	r2, _ := b2.Run(1 << 16)
+	if r1 != r2 {
+		t.Fatalf("deterministic protocol gave %d and %d rounds", r1, r2)
+	}
+}
+
+// TestModelSeparation demonstrates why collision detection matters: the
+// identical protocol mis-decodes without CD on any graph where a BFS
+// layer has two members adjacent to a listener, because the collision
+// reads as silence (a dropped 1-bit).
+func TestModelSeparation(t *testing.T) {
+	g := graph.Grid(6, 8) // interior nodes have 2 same-wave parents
+	b, err := NewBroadcast(g, 0, 0b111111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Engine.CollisionDetection = false
+	ecc := g.Eccentricity(0)
+	if _, done := b.Run(b.RoundsNeeded(ecc) + 50); done {
+		t.Fatal("no-CD run decoded correctly; expected the model separation to bite")
+	}
+	wrong := 0
+	for _, val := range b.Values() {
+		if val != 0b111111 {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("every node decoded correctly without collision detection")
+	}
+}
+
+func TestBeepWaveValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := NewBroadcast(g, -1, 5); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := NewBroadcast(g, 0, -5); err == nil {
+		t.Fatal("negative message accepted")
+	}
+}
+
+func TestBeepWaveSingleton(t *testing.T) {
+	g := graph.Path(1)
+	b, err := NewBroadcast(g, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := b.Run(4); !done {
+		t.Fatal("singleton should complete immediately")
+	}
+}
+
+func TestBeepWaveZeroMessage(t *testing.T) {
+	g := graph.Path(10)
+	b, err := NewBroadcast(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, done := b.Run(1 << 12)
+	if !done {
+		t.Fatalf("zero message incomplete after %d rounds", rounds)
+	}
+}

@@ -1,0 +1,621 @@
+// Package compete implements the paper's core contribution: the Compete
+// procedure (Algorithms 1–4) and its two applications, broadcasting
+// (Theorem 5.1) and leader election (Algorithm 6 / Theorem 5.2).
+//
+// Compete(S) takes a source set S in which every source holds an integer
+// message and guarantees, with high probability, that upon completion all
+// nodes know the highest-valued source message, in
+// O(D·log n/log D + |S|·D^0.125 + polylog n) rounds (Theorem 4.1).
+//
+// Structure (matching Section 3 of the paper):
+//
+//   - A precomputation phase partitions the network into coarse clusters
+//     (Partition(β), β = D^-0.5), computes many fine clusterings for each
+//     exponent j (β = 2^-j), builds intra-cluster schedules (Lemma 2.3),
+//     and distributes a random sequence of fine clusterings within each
+//     coarse cluster. Per DESIGN.md §3 this phase is executed by a
+//     simulator oracle and charged the paper's round costs — the paper
+//     itself notes collisions during precomputation can be ignored at an
+//     O(log n) simulation cost (Section 4).
+//   - The propagation phase runs packet-level on the true collision model
+//     as four interleaved TDM lanes: the main process (Intra-Cluster
+//     Propagation on the coarse cluster's random sequence of fine
+//     clusterings, curtailed after O(log n/(β·log D)) per Theorem 2.2),
+//     its Algorithm-4 Decay background that informs cluster-border nodes,
+//     the background Compete process (Algorithm 2: fixed β, round-robin
+//     clusterings, longer curtailment) that passes messages across coarse
+//     cluster boundaries, and that process's own Algorithm-4 lane.
+//
+// Intra-Cluster Propagation (Algorithm 3) is realized as three sub-phases
+// per clustering slot: outward flood of the center's best message along
+// the schedule, inward flood of any higher message toward the center, and
+// a second outward flood of the center's updated best.
+//
+// All constants of the paper's exponents are named Config fields with
+// laptop-scale defaults; DESIGN.md §3 explains the scaling.
+package compete
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"radionet/internal/cluster"
+	"radionet/internal/decay"
+	"radionet/internal/graph"
+	"radionet/internal/radio"
+	"radionet/internal/rng"
+	"radionet/internal/schedule"
+)
+
+// KindICP tags all Intra-Cluster Propagation messages. A is the carried
+// value, B is the sender's cluster center for the clustering in play.
+const KindICP radio.Kind = 3
+
+// Uninformed is the sentinel value of a node that knows no message yet.
+// Source messages must be non-negative.
+const Uninformed int64 = -1
+
+// Config holds every tunable constant of Algorithms 1–4. The zero value
+// selects the documented defaults. Paper values are given in brackets;
+// defaults are scaled for simulable diameters as explained in DESIGN.md §3.
+type Config struct {
+	// CoarseBetaExp sets the coarse clustering parameter β = D^-x [0.5].
+	CoarseBetaExp float64
+	// FineLoFrac/FineHiFrac set the range of the random fine exponent j:
+	// j ∈ [lo·log2 D, hi·log2 D] [paper 0.01 and 0.1; defaults 0.25, 0.75].
+	FineLoFrac, FineHiFrac float64
+	// FinePerJ is the number of fine clusterings per j [D^0.2; default
+	// min(4, max(2, round(D^0.2)))].
+	FinePerJ int
+	// BgBetaExp sets the background process clustering β = D^-x [0.1;
+	// default 0.3 so background clusters are non-trivial at small D].
+	BgBetaExp float64
+	// BgNumFine is the number of background clusterings cycled round-robin
+	// [D^0.2; default 3].
+	BgNumFine int
+	// CurtailC scales the main-process curtailment distance
+	// ℓ(j) = CurtailC·2^j·log2 n/log2 D (Theorem 2.2) [default 1.0].
+	CurtailC float64
+	// CurtailLogLog multiplies the curtailment by log2 log2 n, recovering
+	// the Haeupler–Wajc'16 schedule length (their distance-to-center bound
+	// is an O(log log n) factor weaker); used as the HW16 comparison mode.
+	CurtailLogLog bool
+	// BgCurtailC scales the background curtailment ℓ = BgCurtailC·log2 n/β
+	// [paper O(log n/β); default 0.5].
+	BgCurtailC float64
+	// HopSlack is the number of schedule sweeps budgeted per hop of flood
+	// progress when sizing sub-phase durations [default 2, selected by a
+	// sweep over the benchmark families].
+	HopSlack float64
+	// TailSweeps is the additive sweep budget per sub-phase [default 3].
+	TailSweeps int
+	// DisableCurtail runs every clustering slot to the clustering's full
+	// strong radius instead of the Theorem 2.2 curtailment (ablation: this
+	// is what switching clusterings *without* the paper's key insight
+	// costs).
+	DisableCurtail bool
+	// DisableBackground silences lanes 2 and 3 (ablation: progress must
+	// then cross coarse-cluster boundaries unaided).
+	DisableBackground bool
+	// DisableHelper silences the Algorithm-4 lanes (ablation: cluster
+	// border nodes are never repaired).
+	DisableHelper bool
+	// FixedJ forces every main-process slot to use fine exponent j
+	// (ablation for the random-β choice of Theorem 2.2); 0 means random.
+	FixedJ int
+	// Wrap, if set, wraps each node's protocol before it is installed in
+	// the engine — the fault-injection hook (see radio.CrashNode et al.).
+	Wrap func(v int, n radio.Node) radio.Node
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// withDefaults fills zero fields with defaults for an (n, d) network.
+func (c Config) withDefaults(d int) Config {
+	if c.CoarseBetaExp == 0 {
+		c.CoarseBetaExp = 0.5
+	}
+	if c.FineLoFrac == 0 {
+		c.FineLoFrac = 0.25
+	}
+	if c.FineHiFrac == 0 {
+		c.FineHiFrac = 0.75
+	}
+	if c.FinePerJ == 0 {
+		c.FinePerJ = clampInt(int(math.Round(math.Pow(float64(d), 0.2))), 2, 4)
+	}
+	if c.BgBetaExp == 0 {
+		c.BgBetaExp = 0.3
+	}
+	if c.BgNumFine == 0 {
+		c.BgNumFine = 3
+	}
+	if c.CurtailC == 0 {
+		c.CurtailC = 1.0
+	}
+	if c.BgCurtailC == 0 {
+		c.BgCurtailC = 0.5
+	}
+	if c.HopSlack == 0 {
+		c.HopSlack = 2
+	}
+	if c.TailSweeps == 0 {
+		c.TailSweeps = 3
+	}
+	return c
+}
+
+// fine bundles one fine clustering with its schedule and slot geometry.
+type fine struct {
+	part    *cluster.Result
+	sched   *schedule.Schedule
+	beta    float64
+	j       int
+	curtail int32
+	subLen  int64 // rounds per sub-phase (out, in, out)
+	slotLen int64 // 3 * subLen
+}
+
+// icpState is one lane's Intra-Cluster Propagation position for a node.
+type icpState struct {
+	fid      int32 // index into the lane's fine set
+	k        int64 // slot index
+	offset   int64 // round offset within the slot
+	subphase int8  // 0 out, 1 in, 2 out — valid after the lane's Act
+	heard    bool  // heard the cluster flood this slot
+	floodVal int64 // the cluster center's flooded value
+}
+
+// Compete is a running Compete(S) instance.
+type Compete struct {
+	Engine *radio.Engine
+	// PrecomputeRounds is the round cost charged for the oracle-executed
+	// precomputation phase (DESIGN.md §3, substitution 1).
+	PrecomputeRounds int64
+
+	g      *graph.Graph
+	d      int
+	cfg    Config
+	nodes  []*cnode
+	coarse *cluster.Result
+	mains  []fine
+	bgs    []fine
+	// byJ indexes mains by exponent j for the FixedJ ablation.
+	byJ map[int][]int32
+
+	l4       int // Decay phase length of the Algorithm-4 lanes
+	seqSeed  uint64
+	coinMain uint64
+	coinBg   uint64
+	trueMax  int64
+	nsrc     int
+}
+
+const (
+	laneMain     = 0
+	laneHelper   = 1
+	laneBg       = 2
+	laneBgHelper = 3
+	numLanes     = 4
+)
+
+// New builds a Compete(S) instance on g with diameter d. sources maps
+// source nodes to their (non-negative) messages. All randomness — shifts,
+// schedules, sequences, transmission coins — derives from seed.
+func New(g *graph.Graph, d int, cfg Config, seed uint64, sources map[int]int64) (*Compete, error) {
+	if g.N() == 0 {
+		return nil, errors.New("compete: empty graph")
+	}
+	if len(sources) == 0 {
+		return nil, errors.New("compete: empty source set")
+	}
+	if d < 1 {
+		d = 1
+	}
+	cfg = cfg.withDefaults(d)
+	n := g.N()
+	master := rng.New(seed)
+
+	c := &Compete{
+		g:        g,
+		d:        d,
+		cfg:      cfg,
+		l4:       decay.Levels(n),
+		seqSeed:  master.Fork(1).Uint64(),
+		coinMain: master.Fork(2).Uint64(),
+		coinBg:   master.Fork(3).Uint64(),
+		byJ:      make(map[int][]int32),
+		trueMax:  Uninformed,
+		nsrc:     len(sources),
+	}
+	logn := math.Log2(float64(n) + 2)
+	logD := math.Log2(float64(d) + 2)
+
+	// Precomputation (oracle; rounds charged below).
+	// 1) Coarse clustering with β = D^-CoarseBetaExp.
+	coarseBeta := math.Pow(float64(d), -cfg.CoarseBetaExp)
+	if coarseBeta > 1 {
+		coarseBeta = 1
+	}
+	c.coarse = cluster.Partition(g, coarseBeta, master.Fork(10))
+
+	// 2) Fine clusterings for each exponent j, with schedules.
+	jmin, jmax := cluster.JRange(d, cfg.FineLoFrac, cfg.FineHiFrac)
+	if cfg.FixedJ != 0 {
+		if cfg.FixedJ < jmin || cfg.FixedJ > jmax {
+			return nil, fmt.Errorf("compete: FixedJ %d outside [%d, %d]", cfg.FixedJ, jmin, jmax)
+		}
+	}
+	fid := int32(0)
+	for j := jmin; j <= jmax; j++ {
+		beta := math.Pow(2, -float64(j))
+		for q := 0; q < cfg.FinePerJ; q++ {
+			part := cluster.Partition(g, beta, master.Fork(100+uint64(fid)))
+			sch := schedule.Build(g, part)
+			ell := int32(math.Ceil(cfg.CurtailC * math.Pow(2, float64(j)) * logn / logD))
+			if cfg.CurtailLogLog {
+				ell = int32(math.Ceil(float64(ell) * math.Log2(logn)))
+			}
+			if ell < 2 {
+				ell = 2
+			}
+			if cfg.DisableCurtail {
+				ell = int32(part.MaxStrongRadius())
+				if ell < 2 {
+					ell = 2
+				}
+			}
+			c.mains = append(c.mains, c.newFine(part, sch, beta, j, ell))
+			c.byJ[j] = append(c.byJ[j], fid)
+			fid++
+		}
+	}
+
+	// 3) Background clusterings (Algorithm 2): fixed β = D^-BgBetaExp,
+	// curtailment O(log n/β).
+	bgBeta := math.Pow(float64(d), -cfg.BgBetaExp)
+	if bgBeta > 1 {
+		bgBeta = 1
+	}
+	for q := 0; q < cfg.BgNumFine; q++ {
+		part := cluster.Partition(g, bgBeta, master.Fork(5000+uint64(q)))
+		sch := schedule.Build(g, part)
+		ell := int32(math.Ceil(cfg.BgCurtailC * logn / bgBeta))
+		if ell < 2 {
+			ell = 2
+		}
+		if cfg.DisableCurtail {
+			ell = int32(part.MaxStrongRadius())
+			if ell < 2 {
+				ell = 2
+			}
+		}
+		c.bgs = append(c.bgs, c.newFine(part, sch, bgBeta, 0, ell))
+	}
+
+	c.PrecomputeRounds = c.precomputeCharge()
+
+	// Per-node protocol state.
+	c.nodes = make([]*cnode, n)
+	rn := make([]radio.Node, n)
+	for v := 0; v < n; v++ {
+		nd := &cnode{
+			id:        int32(v),
+			c:         c,
+			rnd:       master.Fork(0x1_0000_0000 + uint64(v)),
+			globalMax: Uninformed,
+		}
+		nd.main.fid = c.mainFid(int32(v), 0)
+		nd.bg.fid = 0
+		c.nodes[v] = nd
+		rn[v] = nd
+		if cfg.Wrap != nil {
+			rn[v] = cfg.Wrap(v, rn[v])
+		}
+	}
+	for s, v := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("compete: source %d out of range", s)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("compete: source %d has negative message %d", s, v)
+		}
+		c.nodes[s].globalMax = v
+		if v > c.trueMax {
+			c.trueMax = v
+		}
+	}
+	c.Engine = radio.NewEngine(g, rn)
+	return c, nil
+}
+
+// newFine computes slot geometry for a clustering with curtailment ell.
+func (c *Compete) newFine(part *cluster.Result, sch *schedule.Schedule, beta float64, j int, ell int32) fine {
+	sweeps := c.cfg.HopSlack*float64(ell) + float64(c.cfg.TailSweeps)
+	subLen := int64(math.Ceil(sweeps)) * int64(sch.MaxLevel)
+	if subLen < 4 {
+		subLen = 4
+	}
+	return fine{
+		part:    part,
+		sched:   sch,
+		beta:    beta,
+		j:       j,
+		curtail: ell,
+		subLen:  subLen,
+		slotLen: 3 * subLen,
+	}
+}
+
+// mainFid returns the fine clustering the given node's coarse cluster uses
+// in main-process slot k (step 5 of Algorithm 1: each coarse cluster center
+// draws a random sequence of fine clusterings; shared via the coarse
+// schedule, modeled by the shared hash).
+func (c *Compete) mainFid(v int32, k int64) int32 {
+	if c.cfg.FixedJ != 0 {
+		ids := c.byJ[c.cfg.FixedJ]
+		h := rng.Hash64(c.seqSeed, uint64(c.coarse.Center[v]), uint64(k))
+		return ids[h%uint64(len(ids))]
+	}
+	h := rng.Hash64(c.seqSeed, uint64(c.coarse.Center[v]), uint64(k))
+	return int32(h % uint64(len(c.mains)))
+}
+
+// bgFid returns the background clustering for slot k (round-robin order,
+// Algorithm 2).
+func (c *Compete) bgFid(k int64) int32 {
+	return int32(k % int64(len(c.bgs)))
+}
+
+// precomputeCharge totals the round costs of the oracle-executed
+// precomputation, following the paper's stated bounds (DESIGN.md §3):
+// O(log³n/β) per Partition (Lemma 2.1), O(radius·log²n) per schedule
+// (Lemma 2.3 scoped to cluster radius), and O(D·log n) to distribute the
+// clustering sequences through the coarse clusters.
+func (c *Compete) precomputeCharge() int64 {
+	l := int64(decay.Levels(c.g.N()))
+	charge := l * l * l * int64(math.Ceil(1/c.coarse.Beta))
+	all := make([]fine, 0, len(c.mains)+len(c.bgs))
+	all = append(all, c.mains...)
+	all = append(all, c.bgs...)
+	for _, f := range all {
+		charge += l * l * l * int64(math.Ceil(1/f.beta))
+		charge += int64(f.part.MaxStrongRadius()) * l * l
+	}
+	charge += int64(c.d) * l
+	return charge
+}
+
+// TrueMax returns the highest source message.
+func (c *Compete) TrueMax() int64 { return c.trueMax }
+
+// Done reports whether every node knows the highest source message.
+func (c *Compete) Done() bool {
+	for _, nd := range c.nodes {
+		if nd.globalMax != c.trueMax {
+			return false
+		}
+	}
+	return true
+}
+
+// InformedCount returns how many nodes currently know the highest message.
+func (c *Compete) InformedCount() int {
+	count := 0
+	for _, nd := range c.nodes {
+		if nd.globalMax == c.trueMax {
+			count++
+		}
+	}
+	return count
+}
+
+// Values returns each node's currently known best message (Uninformed for
+// nodes that know nothing).
+func (c *Compete) Values() []int64 {
+	vs := make([]int64, len(c.nodes))
+	for i, nd := range c.nodes {
+		vs[i] = nd.globalMax
+	}
+	return vs
+}
+
+// Budget returns a generous default round budget for Run, derived from
+// Theorem 4.1's O(D·log n/log D + |S|·D^0.125 + polylog n) with the
+// implementation's constants.
+func (c *Compete) Budget() int64 {
+	maxSlot := int64(0)
+	sumSlot := int64(0)
+	minProgress := math.Inf(1)
+	for _, f := range c.mains {
+		if f.slotLen > maxSlot {
+			maxSlot = f.slotLen
+		}
+		sumSlot += f.slotLen
+		if p := 1 / f.beta; p < minProgress {
+			minProgress = p
+		}
+	}
+	avgSlot := sumSlot / int64(len(c.mains))
+	progress := minProgress / 4
+	if progress < 1 {
+		progress = 1
+	}
+	slots := int64(math.Ceil(8*float64(c.d)/progress)) + 32
+	polylog := int64(80) * int64(c.l4) * int64(c.l4) * int64(c.l4)
+	srcTerm := int64(c.nsrc) * int64(math.Ceil(math.Pow(float64(c.d), 0.125))) * int64(c.l4) * maxSlot / 8
+	return numLanes * (slots*avgSlot + 8*maxSlot + polylog + srcTerm)
+}
+
+// Run executes the propagation phase until all nodes know the highest
+// message or maxRounds elapse (pass 0 to use Budget()). It returns the
+// rounds consumed in this call and whether Compete completed.
+func (c *Compete) Run(maxRounds int64) (int64, bool) {
+	if maxRounds <= 0 {
+		maxRounds = c.Budget()
+	}
+	return c.Engine.Run(maxRounds, c.Done)
+}
+
+// cnode is the per-node protocol state machine: a 4-lane TDM of the main
+// process, its Algorithm-4 helper, the background process, and its helper.
+type cnode struct {
+	id        int32
+	c         *Compete
+	rnd       *rng.Rand
+	globalMax int64
+	main      icpState
+	bg        icpState
+}
+
+// Act implements radio.Node.
+func (nd *cnode) Act(t int64) radio.Action {
+	lane := t % numLanes
+	lt := t / numLanes
+	switch lane {
+	case laneMain:
+		return nd.actICP(&nd.main, nd.c.mains, true)
+	case laneHelper:
+		if nd.c.cfg.DisableHelper {
+			return radio.Listen
+		}
+		return nd.actHelper(&nd.main, nd.c.mains, nd.c.coinMain, lt)
+	case laneBg:
+		if nd.c.cfg.DisableBackground {
+			return radio.Listen
+		}
+		return nd.actICP(&nd.bg, nd.c.bgs, false)
+	default:
+		if nd.c.cfg.DisableBackground || nd.c.cfg.DisableHelper {
+			return radio.Listen
+		}
+		return nd.actHelper(&nd.bg, nd.c.bgs, nd.c.coinBg, lt)
+	}
+}
+
+// Recv implements radio.Node.
+func (nd *cnode) Recv(t int64, msg *radio.Message, _ bool) {
+	if msg == nil || msg.Kind != KindICP {
+		return
+	}
+	if msg.A > nd.globalMax {
+		nd.globalMax = msg.A
+	}
+	lane := t % numLanes
+	var st *icpState
+	var fines []fine
+	switch lane {
+	case laneMain, laneHelper:
+		st, fines = &nd.main, nd.c.mains
+	default:
+		st, fines = &nd.bg, nd.c.bgs
+	}
+	f := &fines[st.fid]
+	if f.part.Center[nd.id] != int32(msg.B) || f.part.Dist[nd.id] > f.curtail {
+		return
+	}
+	// In-cluster reception within the curtailment radius: adopt the
+	// cluster flood. During the inward sub-phase the relay gate
+	// (globalMax > floodVal) is evaluated live in actICP, so nothing else
+	// is needed here.
+	if st.subphase != 1 || lane == laneHelper || lane == laneBgHelper {
+		st.heard = true
+		if msg.A > st.floodVal {
+			st.floodVal = msg.A
+		}
+	}
+}
+
+// actICP advances one lane-local round of Intra-Cluster Propagation
+// (Algorithm 3) and returns the node's action.
+func (nd *cnode) actICP(st *icpState, fines []fine, isMain bool) radio.Action {
+	f := &fines[st.fid]
+	// Slot and sub-phase boundaries.
+	if st.offset == 0 || st.offset == 2*f.subLen {
+		// Outward sub-phase begins: only the center holds the flood.
+		st.heard = false
+		st.floodVal = Uninformed
+		if f.part.Center[nd.id] == nd.id {
+			st.heard = true
+			st.floodVal = nd.globalMax
+		}
+	}
+	st.subphase = int8(st.offset / f.subLen)
+
+	action := radio.Listen
+	dist := f.part.Dist[nd.id]
+	if dist <= f.curtail {
+		level := f.sched.Levels[nd.id]
+		switch st.subphase {
+		case 0, 2: // outward flood of the center's value
+			if st.heard && nd.rnd.Bernoulli(schedule.Prob(level, st.offset%f.subLen)) {
+				action = radio.Transmit(radio.Message{
+					Kind: KindICP, A: st.floodVal, B: int64(f.part.Center[nd.id]),
+				})
+			}
+		case 1: // inward flood of any higher message toward the center
+			if st.heard && nd.globalMax > st.floodVal &&
+				nd.rnd.Bernoulli(schedule.Prob(level, st.offset%f.subLen)) {
+				action = radio.Transmit(radio.Message{
+					Kind: KindICP, A: nd.globalMax, B: int64(f.part.Center[nd.id]),
+				})
+			}
+		}
+	}
+
+	// Advance the lane clock; roll into the next clustering slot at the
+	// end of this one.
+	st.offset++
+	if st.offset >= f.slotLen {
+		st.offset = 0
+		st.k++
+		if isMain {
+			st.fid = nd.c.mainFid(nd.id, st.k)
+		} else {
+			st.fid = nd.c.bgFid(st.k)
+		}
+	}
+	return action
+}
+
+// actHelper advances one lane-local round of the Algorithm-4 background
+// process for the companion lane's current clustering: time is divided
+// into Decay phases of length l4; in the i-th phase of each cycle the
+// node's cluster participates with (cluster-shared) probability 2^-i, and
+// a participating cluster performs one round of Decay announcing its flood
+// value, repairing border nodes that collisions starve in the main lane.
+func (nd *cnode) actHelper(st *icpState, fines []fine, coinSeed uint64, lt int64) radio.Action {
+	if !st.heard {
+		return radio.Listen
+	}
+	f := &fines[st.fid]
+	if f.part.Dist[nd.id] > f.curtail {
+		return radio.Listen
+	}
+	l4 := int64(nd.c.l4)
+	window := lt / l4
+	step := int(lt % l4)
+	i := uint(window%l4) + 1
+	p := 1 / float64(int64(1)<<i)
+	center := f.part.Center[nd.id]
+	if rng.HashFloat(coinSeed, uint64(st.fid), uint64(center), uint64(window)) >= p {
+		return radio.Listen // cluster sat this Decay phase out
+	}
+	if nd.rnd.Bernoulli(decay.Prob(step)) {
+		return radio.Transmit(radio.Message{
+			Kind: KindICP, A: st.floodVal, B: int64(center),
+		})
+	}
+	return radio.Listen
+}
+
+var _ radio.Node = (*cnode)(nil)

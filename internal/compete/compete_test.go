@@ -1,0 +1,226 @@
+package compete
+
+import (
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := graph.Path(10)
+	if _, err := New(g, 9, Config{}, 1, nil); err == nil {
+		t.Fatal("empty source set accepted")
+	}
+	if _, err := New(g, 9, Config{}, 1, map[int]int64{0: -5}); err == nil {
+		t.Fatal("negative message accepted")
+	}
+	if _, err := New(g, 9, Config{}, 1, map[int]int64{20: 1}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	empty := graph.NewBuilder("e", 0).Build()
+	if _, err := New(empty, 1, Config{}, 1, map[int]int64{0: 1}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestBroadcastSmallFamilies(t *testing.T) {
+	r := rng.New(4242)
+	cases := []*graph.Graph{
+		graph.Path(48),
+		graph.Cycle(40),
+		graph.Grid(7, 7),
+		graph.PathOfCliques(8, 5),
+		graph.BalancedTree(2, 5),
+		graph.Gnp(60, 0.08, r.Fork(1)),
+		graph.RandomGeometric(80, 0.17, r.Fork(2)),
+	}
+	for _, g := range cases {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			d := g.Diameter()
+			b, err := NewBroadcast(g, d, Config{}, 11, 0, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rounds, done := b.Run(0)
+			if !done {
+				t.Fatalf("broadcast incomplete after %d rounds (budget %d): %d/%d informed",
+					rounds, b.Budget(), b.InformedCount(), g.N())
+			}
+			for v, val := range b.Values() {
+				if val != 7 {
+					t.Fatalf("node %d has %d, want 7", v, val)
+				}
+			}
+		})
+	}
+}
+
+func TestBroadcastDeterministic(t *testing.T) {
+	g := graph.PathOfCliques(6, 4)
+	d := g.Diameter()
+	b1, err := NewBroadcast(g, d, Config{}, 99, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := NewBroadcast(g, d, Config{}, 99, 0, 3)
+	r1, _ := b1.Run(0)
+	r2, _ := b2.Run(0)
+	if r1 != r2 {
+		t.Fatalf("same seed, different rounds: %d vs %d", r1, r2)
+	}
+}
+
+func TestCompeteMultiSource(t *testing.T) {
+	g := graph.Grid(8, 8)
+	d := g.Diameter()
+	sources := map[int]int64{0: 10, 63: 99, 32: 55}
+	c, err := New(g, d, Config{}, 5, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TrueMax() != 99 {
+		t.Fatalf("TrueMax = %d", c.TrueMax())
+	}
+	rounds, done := c.Run(0)
+	if !done {
+		t.Fatalf("compete incomplete after %d rounds: %d/%d", rounds, c.InformedCount(), g.N())
+	}
+}
+
+func TestCompeteSingleNode(t *testing.T) {
+	g := graph.Path(1)
+	c, err := New(g, 1, Config{}, 1, map[int]int64{0: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := c.Run(16); !done {
+		t.Fatal("singleton network should be done immediately")
+	}
+}
+
+func TestPrecomputeChargePositive(t *testing.T) {
+	g := graph.Path(64)
+	c, err := New(g, 63, Config{}, 1, map[int]int64{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PrecomputeRounds <= 0 {
+		t.Fatalf("PrecomputeRounds = %d", c.PrecomputeRounds)
+	}
+}
+
+func TestFixedJAblation(t *testing.T) {
+	g := graph.Path(60)
+	d := g.Diameter()
+	// FixedJ outside the valid range must be rejected.
+	if _, err := New(g, d, Config{FixedJ: 99}, 1, map[int]int64{0: 1}); err == nil {
+		t.Fatal("absurd FixedJ accepted")
+	}
+	c, err := New(g, d, Config{FixedJ: 2}, 1, map[int]int64{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := c.Run(4 * c.Budget()); !done {
+		t.Fatal("FixedJ run incomplete")
+	}
+}
+
+func TestDisableCurtailStillCompletes(t *testing.T) {
+	g := graph.Path(40)
+	c, err := New(g, 39, Config{DisableCurtail: true}, 3, map[int]int64{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := c.Run(8 * c.Budget()); !done {
+		t.Fatal("uncurtailed run incomplete")
+	}
+}
+
+func TestDisableBackgroundStillCompletesViaMain(t *testing.T) {
+	// Without the background process the main process must still finish on
+	// a small graph (coarse boundaries are rare at this scale); this is
+	// the F6 ablation's sanity leg.
+	g := graph.Path(40)
+	c, err := New(g, 39, Config{DisableBackground: true}, 3, map[int]int64{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := c.Run(8 * c.Budget()); !done {
+		t.Skip("main process alone did not finish at this budget (expected on unlucky seeds)")
+	}
+}
+
+func TestLeaderElectionFamilies(t *testing.T) {
+	r := rng.New(777)
+	cases := []*graph.Graph{
+		graph.Path(40),
+		graph.Grid(6, 6),
+		graph.PathOfCliques(5, 5),
+		graph.Gnp(50, 0.1, r.Fork(1)),
+	}
+	for _, g := range cases {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			le, err := NewLeaderElection(g, g.Diameter(), LeaderConfig{}, 2024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(le.Candidates) == 0 {
+				t.Fatal("no candidates sampled")
+			}
+			rounds, done := le.Run(0)
+			if !done {
+				t.Fatalf("election incomplete after %d rounds", rounds)
+			}
+			if err := le.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			if le.Leader() < 0 {
+				t.Fatal("no leader identified")
+			}
+		})
+	}
+}
+
+func TestLeaderBeforeCompletion(t *testing.T) {
+	g := graph.Path(30)
+	le, err := NewLeaderElection(g, 29, LeaderConfig{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if le.Leader() != -1 && !le.Done() {
+		t.Fatal("leader reported before completion")
+	}
+	if err := le.Verify(); err == nil && !le.Done() {
+		t.Fatal("Verify passed before completion")
+	}
+}
+
+func TestBudgetScalesWithDiameter(t *testing.T) {
+	small, _ := New(graph.Path(32), 31, Config{}, 1, map[int]int64{0: 1})
+	large, _ := New(graph.Path(128), 127, Config{}, 1, map[int]int64{0: 1})
+	if large.Budget() <= small.Budget() {
+		t.Fatalf("budget not increasing with D: %d vs %d", small.Budget(), large.Budget())
+	}
+}
+
+func TestValuesMonotone(t *testing.T) {
+	g := graph.Path(30)
+	c, err := New(g, 29, Config{}, 9, map[int]int64{0: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := c.Values()
+	for i := 0; i < 200; i++ {
+		c.Engine.Step()
+		cur := c.Values()
+		for v := range cur {
+			if cur[v] < prev[v] {
+				t.Fatalf("node %d knowledge decreased %d -> %d", v, prev[v], cur[v])
+			}
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,86 @@
+package compete
+
+import (
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/radio"
+	"radionet/internal/rng"
+)
+
+// TestBroadcastSurvivesCrashes injects crash faults into non-cut nodes and
+// requires every surviving node to still learn the message: the protocol
+// must not depend on any fixed relay set (clusterings are resampled every
+// slot, so dead nodes are routed around).
+func TestBroadcastSurvivesCrashes(t *testing.T) {
+	g := graph.Caterpillar(30, 2) // spine 0..29, legs 30..89
+	d := g.Diameter()
+	// Crash a third of the legs early; legs are never cut vertices.
+	crashed := map[int]bool{}
+	for v := 30; v < 90; v += 3 {
+		crashed[v] = true
+	}
+	cfg := Config{Wrap: func(v int, n radio.Node) radio.Node {
+		if crashed[v] {
+			return &radio.CrashNode{Inner: n, CrashAt: 50}
+		}
+		return n
+	}}
+	c, err := New(g, d, cfg, 17, map[int]int64{0: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliveDone := func() bool {
+		for v, val := range c.Values() {
+			if !crashed[v] && val != c.TrueMax() {
+				return false
+			}
+		}
+		return true
+	}
+	rounds, done := c.Engine.Run(8*c.Budget(), aliveDone)
+	if !done {
+		t.Fatalf("surviving nodes not informed after %d rounds", rounds)
+	}
+}
+
+// TestBroadcastSurvivesJamming runs the pipeline with random jammers that
+// transmit noise 20% of rounds: pure interference, no protocol content.
+func TestBroadcastSurvivesJamming(t *testing.T) {
+	g := graph.Grid(6, 20)
+	d := g.Diameter()
+	jr := rng.New(5)
+	cfg := Config{Wrap: func(v int, n radio.Node) radio.Node {
+		if v%10 == 3 { // every tenth node doubles as a jammer
+			return &radio.JamNode{Inner: n, P: 0.2, Rnd: jr.Fork(uint64(v))}
+		}
+		return n
+	}}
+	c, err := New(g, d, cfg, 23, map[int]int64{0: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, done := c.Run(16 * c.Budget())
+	if !done {
+		t.Fatalf("broadcast under jamming incomplete after %d rounds (%d/%d informed)",
+			rounds, c.InformedCount(), g.N())
+	}
+}
+
+// TestBroadcastSurvivesLossyReceivers degrades every receiver with 20%
+// reception loss.
+func TestBroadcastSurvivesLossyReceivers(t *testing.T) {
+	g := graph.Path(40)
+	lr := rng.New(6)
+	cfg := Config{Wrap: func(v int, n radio.Node) radio.Node {
+		return &radio.LossyNode{Inner: n, P: 0.2, Rnd: lr.Fork(uint64(v))}
+	}}
+	c, err := New(g, 39, cfg, 29, map[int]int64{0: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, done := c.Run(16 * c.Budget())
+	if !done {
+		t.Fatalf("broadcast with lossy receivers incomplete after %d rounds", rounds)
+	}
+}

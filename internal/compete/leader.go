@@ -1,0 +1,146 @@
+package compete
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"radionet/internal/graph"
+	"radionet/internal/rng"
+)
+
+// Broadcast is Theorem 5.1: Compete({s}) with the source's message, which
+// completes broadcasting in O(D·log n/log D + polylog n) rounds whp.
+type Broadcast struct {
+	*Compete
+	Source int
+}
+
+// NewBroadcast builds a broadcast of value from source src on g.
+func NewBroadcast(g *graph.Graph, d int, cfg Config, seed uint64, src int, value int64) (*Broadcast, error) {
+	c, err := New(g, d, cfg, seed, map[int]int64{src: value})
+	if err != nil {
+		return nil, err
+	}
+	return &Broadcast{Compete: c, Source: src}, nil
+}
+
+// LeaderElection is Algorithm 6 / Theorem 5.2: nodes become candidates
+// with probability Θ(log n/n), candidates draw Θ(log n)-bit random IDs,
+// and Compete(C) propagates the highest ID. Upon completion all nodes
+// output the same ID and exactly one node recognizes it as its own.
+type LeaderElection struct {
+	*Compete
+	// Candidates maps candidate nodes to their drawn IDs.
+	Candidates map[int]int64
+}
+
+// LeaderConfig extends Config with the candidate-sampling constant.
+type LeaderConfig struct {
+	Config
+	// CandidateC scales the candidacy probability CandidateC·ln n/n
+	// [paper Θ(log n/n); default 2].
+	CandidateC float64
+	// IDBits is the candidate ID length [Θ(log n); default 40].
+	IDBits int
+}
+
+func (c LeaderConfig) withDefaults() LeaderConfig {
+	if c.CandidateC == 0 {
+		c.CandidateC = 2
+	}
+	if c.IDBits == 0 {
+		c.IDBits = 40
+	}
+	return c
+}
+
+// NewLeaderElection builds a leader election instance on g.
+//
+// If the candidate sample comes out empty or with duplicate IDs (both
+// probability O(n^-c) events the paper conditions away), the sample is
+// redrawn with a salted seed; the deviation is measurement-neutral since
+// the paper's analysis conditions on |C| = Θ(log n) with unique IDs.
+func NewLeaderElection(g *graph.Graph, d int, cfg LeaderConfig, seed uint64) (*LeaderElection, error) {
+	if g.N() == 0 {
+		return nil, errors.New("compete: empty graph")
+	}
+	cfg = cfg.withDefaults()
+	n := g.N()
+	p := cfg.CandidateC * math.Log(float64(n)+2) / float64(n)
+	if p > 1 {
+		p = 1
+	}
+	idSpace := int64(1) << uint(cfg.IDBits)
+
+	var candidates map[int]int64
+	for salt := uint64(0); ; salt++ {
+		if salt > 1000 {
+			return nil, errors.New("compete: could not sample a valid candidate set")
+		}
+		r := rng.New(seed).Fork(7000 + salt)
+		candidates = make(map[int]int64)
+		used := make(map[int64]bool)
+		dup := false
+		for v := 0; v < n; v++ {
+			cr := r.Fork(uint64(v))
+			if !cr.Bernoulli(p) {
+				continue
+			}
+			id := cr.Int63n(idSpace)
+			if used[id] {
+				dup = true
+				break
+			}
+			used[id] = true
+			candidates[v] = id
+		}
+		if !dup && len(candidates) > 0 {
+			break
+		}
+	}
+
+	c, err := New(g, d, cfg.Config, seed, candidates)
+	if err != nil {
+		return nil, err
+	}
+	return &LeaderElection{Compete: c, Candidates: candidates}, nil
+}
+
+// Leader returns the elected node once Done; -1 before completion.
+func (le *LeaderElection) Leader() int {
+	if !le.Done() {
+		return -1
+	}
+	for v, id := range le.Candidates {
+		if id == le.TrueMax() {
+			return v
+		}
+	}
+	return -1
+}
+
+// Verify checks the leader election postcondition after completion: every
+// node outputs the same ID and exactly one node holds it as its own.
+func (le *LeaderElection) Verify() error {
+	if !le.Done() {
+		return errors.New("compete: election not complete")
+	}
+	want := le.TrueMax()
+	owners := 0
+	for v, id := range le.Candidates {
+		if id == want {
+			owners++
+			_ = v
+		}
+	}
+	if owners != 1 {
+		return fmt.Errorf("compete: %d candidates own the winning ID", owners)
+	}
+	for v, got := range le.Values() {
+		if got != want {
+			return fmt.Errorf("compete: node %d outputs %d, want %d", v, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+// Package decay implements the Decay transmission primitive of Bar-Yehuda,
+// Goldreich and Itai (Algorithm 5 of the paper) and the classical
+// Decay-based broadcasting algorithm built on it, which serves both as the
+// paper's collision-handling workhorse and as the O((D+log n)·log n)
+// baseline from [3].
+//
+// One "round of Decay" is a phase of L ≈ log2 n consecutive time steps; in
+// step i (1-based) of a phase every participating node transmits with
+// probability 2^-i. Lemma 3.1: after a single phase, a listening node with
+// at least one participating neighbor receives a message with constant
+// probability, regardless of how many neighbors participate.
+package decay
+
+import (
+	"math/bits"
+
+	"radionet/internal/graph"
+	"radionet/internal/radio"
+	"radionet/internal/rng"
+)
+
+// KindBroadcast tags messages of the Decay broadcast protocols.
+const KindBroadcast radio.Kind = 1
+
+// Levels returns the number of steps in one Decay phase for an n-node
+// network: ceil(log2 n), at least 1.
+func Levels(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Prob returns the transmission probability at 0-based step s of a phase:
+// 2^-(s+1).
+func Prob(s int) float64 { return 1 / float64(int64(1)<<uint(s+1)) }
+
+// Config parameterizes the Decay broadcast protocols.
+type Config struct {
+	// Levels is the phase length L. Zero means Levels(n).
+	Levels int
+	// JoinMidPhase lets a newly informed node start participating in the
+	// current phase instead of waiting for the next phase boundary. The
+	// classical analysis assumes phase-aligned joins; both succeed.
+	JoinMidPhase bool
+	// Wrap, if set, wraps each node's protocol before it is installed in
+	// the engine — the fault-injection hook (see radio.CrashNode et al.).
+	Wrap func(v int, n radio.Node) radio.Node
+}
+
+func (c Config) levels(n int) int {
+	if c.Levels > 0 {
+		return c.Levels
+	}
+	return Levels(n)
+}
+
+// node is the per-node state of the Decay broadcast protocol. Uninformed
+// nodes are silent (the classical protocol does not use spontaneous
+// transmissions).
+type node struct {
+	levels     int
+	rnd        *rng.Rand
+	informed   bool
+	val        int64
+	informedAt int64 // phase-aligned participation gate
+	joinMid    bool
+}
+
+func (b *node) Act(t int64) radio.Action {
+	if !b.informed {
+		return radio.Listen
+	}
+	if !b.joinMid && t < b.informedAt {
+		return radio.Listen
+	}
+	step := int(t % int64(b.levels))
+	if b.rnd.Bernoulli(Prob(step)) {
+		return radio.Transmit(radio.Message{Kind: KindBroadcast, A: b.val})
+	}
+	return radio.Listen
+}
+
+func (b *node) Recv(t int64, msg *radio.Message, _ bool) {
+	if msg == nil || msg.Kind != KindBroadcast {
+		return
+	}
+	if !b.informed || msg.A > b.val {
+		if !b.informed {
+			// Align participation to the next phase boundary.
+			b.informedAt = ((t / int64(b.levels)) + 1) * int64(b.levels)
+		}
+		b.informed = true
+		b.val = msg.A
+	}
+}
+
+// Broadcast is a running instance of the Decay broadcast protocol from a
+// set of sources. With a single source it is exactly the [3] algorithm;
+// with many, all nodes converge on the highest source value (the
+// multi-source extension used by the binary-search leader election of [2]).
+type Broadcast struct {
+	Engine *radio.Engine
+	nodes  []*node
+}
+
+// NewBroadcast builds a Decay broadcast instance on g where each source
+// node starts informed with its value from sources. seed determines all
+// randomness.
+func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64) *Broadcast {
+	n := g.N()
+	L := cfg.levels(n)
+	master := rng.New(seed)
+	ns := make([]*node, n)
+	rn := make([]radio.Node, n)
+	for i := 0; i < n; i++ {
+		ns[i] = &node{levels: L, rnd: master.Fork(uint64(i)), joinMid: cfg.JoinMidPhase}
+		rn[i] = ns[i]
+		if cfg.Wrap != nil {
+			rn[i] = cfg.Wrap(i, rn[i])
+		}
+	}
+	for s, v := range sources {
+		ns[s].informed = true
+		ns[s].val = v
+	}
+	return &Broadcast{Engine: radio.NewEngine(g, rn), nodes: ns}
+}
+
+// Done reports whether every node knows the maximum source value.
+func (b *Broadcast) Done() bool {
+	max := int64(0)
+	first := true
+	for _, nd := range b.nodes {
+		if nd.informed && (first || nd.val > max) {
+			max = nd.val
+			first = false
+		}
+	}
+	if first {
+		return false
+	}
+	for _, nd := range b.nodes {
+		if !nd.informed || nd.val != max {
+			return false
+		}
+	}
+	return true
+}
+
+// InformedCount returns how many nodes are informed of any value.
+func (b *Broadcast) InformedCount() int {
+	c := 0
+	for _, nd := range b.nodes {
+		if nd.informed {
+			c++
+		}
+	}
+	return c
+}
+
+// Values returns a copy of each node's current value; uninformed nodes
+// report -1.
+func (b *Broadcast) Values() []int64 {
+	vs := make([]int64, len(b.nodes))
+	for i, nd := range b.nodes {
+		if nd.informed {
+			vs[i] = nd.val
+		} else {
+			vs[i] = -1
+		}
+	}
+	return vs
+}
+
+// Run executes until completion or maxRounds, returning the rounds used in
+// this call and whether broadcast completed.
+func (b *Broadcast) Run(maxRounds int64) (int64, bool) {
+	return b.Engine.Run(maxRounds, b.Done)
+}
+
+// Participant is a reusable Decay phase driver for protocols that embed
+// Decay as a sub-process (e.g. the paper's Algorithm 4 background process).
+// A Participant does not itself decide *whether* to take part in a phase —
+// the embedding protocol does — it only supplies the per-step coin.
+type Participant struct {
+	Levels int
+	Rnd    *rng.Rand
+}
+
+// Transmitp reports whether to transmit at 0-based step s of the current
+// phase.
+func (p *Participant) Transmitp(s int) bool {
+	return p.Rnd.Bernoulli(Prob(s % p.Levels))
+}

@@ -1,0 +1,161 @@
+package decay
+
+import (
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/rng"
+)
+
+func TestLevels(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, tc := range tests {
+		if got := Levels(tc.n); got != tc.want {
+			t.Errorf("Levels(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestProb(t *testing.T) {
+	if Prob(0) != 0.5 || Prob(1) != 0.25 || Prob(3) != 0.0625 {
+		t.Fatalf("Prob sequence wrong: %v %v %v", Prob(0), Prob(1), Prob(3))
+	}
+}
+
+func TestBroadcastPathCompletes(t *testing.T) {
+	g := graph.Path(50)
+	b := NewBroadcast(g, Config{}, 1, map[int]int64{0: 99})
+	rounds, done := b.Run(100000)
+	if !done {
+		t.Fatalf("broadcast did not finish in %d rounds (informed %d/%d)",
+			rounds, b.InformedCount(), g.N())
+	}
+	for i, v := range b.Values() {
+		if v != 99 {
+			t.Fatalf("node %d has value %d, want 99", i, v)
+		}
+	}
+}
+
+func TestBroadcastDenseGraphCompletes(t *testing.T) {
+	// Heavy contention: cliques force Decay to do real collision work.
+	g := graph.PathOfCliques(6, 16)
+	b := NewBroadcast(g, Config{}, 7, map[int]int64{0: 5})
+	if _, done := b.Run(200000); !done {
+		t.Fatalf("broadcast stuck: informed %d/%d", b.InformedCount(), g.N())
+	}
+}
+
+func TestBroadcastMultiSourceTakesMax(t *testing.T) {
+	g := graph.Grid(8, 8)
+	b := NewBroadcast(g, Config{}, 3, map[int]int64{0: 10, 63: 70, 32: 40})
+	if _, done := b.Run(200000); !done {
+		t.Fatal("multi-source broadcast did not converge")
+	}
+	for i, v := range b.Values() {
+		if v != 70 {
+			t.Fatalf("node %d converged to %d, want 70", i, v)
+		}
+	}
+}
+
+func TestBroadcastNoSourcesNeverDone(t *testing.T) {
+	g := graph.Path(5)
+	b := NewBroadcast(g, Config{}, 1, nil)
+	if _, done := b.Run(100); done {
+		t.Fatal("broadcast with no sources reported done")
+	}
+	if b.InformedCount() != 0 {
+		t.Fatal("phantom informed nodes")
+	}
+}
+
+func TestBroadcastDeterministicAcrossRuns(t *testing.T) {
+	g := graph.Grid(6, 6)
+	r1 := NewBroadcast(g, Config{}, 42, map[int]int64{0: 1})
+	r2 := NewBroadcast(g, Config{}, 42, map[int]int64{0: 1})
+	n1, _ := r1.Run(100000)
+	n2, _ := r2.Run(100000)
+	if n1 != n2 {
+		t.Fatalf("same seed gave different completion rounds: %d vs %d", n1, n2)
+	}
+}
+
+func TestBroadcastJoinMidPhase(t *testing.T) {
+	g := graph.Path(30)
+	b := NewBroadcast(g, Config{JoinMidPhase: true}, 11, map[int]int64{0: 1})
+	if _, done := b.Run(100000); !done {
+		t.Fatal("mid-phase joining broadcast did not finish")
+	}
+}
+
+// TestDecaySuccessProbability is the Lemma 3.1 check: one Decay phase
+// informs a listener with constant probability, for any number of
+// participating neighbors.
+func TestDecaySuccessProbability(t *testing.T) {
+	const trials = 2000
+	master := rng.New(123)
+	for _, competitors := range []int{1, 2, 4, 16, 64, 256} {
+		L := Levels(competitors + 1)
+		success := 0
+		for trial := 0; trial < trials; trial++ {
+			r := master.Fork(uint64(competitors)<<32 | uint64(trial))
+			// Simulate one phase on a star: count steps where exactly one
+			// of the competitors transmits.
+			for s := 0; s < L; s++ {
+				tx := 0
+				for c := 0; c < competitors; c++ {
+					if r.Bernoulli(Prob(s)) {
+						tx++
+					}
+				}
+				if tx == 1 {
+					success++
+					break
+				}
+			}
+		}
+		p := float64(success) / trials
+		// The classical bound gives p >= 1/(2e) ≈ 0.18 per phase; measured
+		// values are well above that.
+		if p < 0.18 {
+			t.Errorf("Decay success probability %.3f with %d competitors, want >= 0.18",
+				p, competitors)
+		}
+	}
+}
+
+func TestParticipant(t *testing.T) {
+	p := &Participant{Levels: 4, Rnd: rng.New(5)}
+	// Step 0 has probability 1/2; over many phases it must transmit
+	// sometimes and not always.
+	yes := 0
+	for i := 0; i < 1000; i++ {
+		if p.Transmitp(0) {
+			yes++
+		}
+	}
+	if yes < 400 || yes > 600 {
+		t.Fatalf("step-0 transmit count %d out of range for p=1/2", yes)
+	}
+}
+
+func TestBroadcastScalingOnPath(t *testing.T) {
+	// Sanity on the O((D+log n) log n) shape: doubling D should roughly
+	// double completion time on a path. Loose factor bounds only.
+	times := make(map[int]int64)
+	for _, n := range []int{32, 64, 128} {
+		g := graph.Path(n)
+		b := NewBroadcast(g, Config{}, 9, map[int]int64{0: 1})
+		r, done := b.Run(1 << 20)
+		if !done {
+			t.Fatalf("path n=%d did not finish", n)
+		}
+		times[n] = r
+	}
+	if times[128] < times[32] {
+		t.Fatalf("completion time not increasing with D: %v", times)
+	}
+}

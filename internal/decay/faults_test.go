@@ -1,0 +1,49 @@
+package decay
+
+import (
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/radio"
+	"radionet/internal/rng"
+)
+
+func TestDecayBroadcastSurvivesCrashes(t *testing.T) {
+	// Grid stays connected after losing scattered interior nodes.
+	g := graph.Grid(10, 10)
+	crashed := map[int]bool{33: true, 44: true, 55: true, 66: true}
+	cfg := Config{Wrap: func(v int, n radio.Node) radio.Node {
+		if crashed[v] {
+			return &radio.CrashNode{Inner: n, CrashAt: 20}
+		}
+		return n
+	}}
+	b := NewBroadcast(g, cfg, 3, map[int]int64{0: 9})
+	aliveDone := func() bool {
+		for v, val := range b.Values() {
+			if !crashed[v] && val != 9 {
+				return false
+			}
+		}
+		return true
+	}
+	rounds, done := b.Engine.Run(1<<22, aliveDone)
+	if !done {
+		t.Fatalf("survivors uninformed after %d rounds", rounds)
+	}
+}
+
+func TestDecayBroadcastSurvivesJamming(t *testing.T) {
+	g := graph.Path(50)
+	jr := rng.New(4)
+	cfg := Config{Wrap: func(v int, n radio.Node) radio.Node {
+		if v%7 == 3 {
+			return &radio.JamNode{Inner: n, P: 0.25, Rnd: jr.Fork(uint64(v))}
+		}
+		return n
+	}}
+	b := NewBroadcast(g, cfg, 9, map[int]int64{0: 9})
+	if _, done := b.Run(1 << 22); !done {
+		t.Fatalf("broadcast under jamming incomplete: %d/%d informed", b.InformedCount(), g.N())
+	}
+}

@@ -1,0 +1,165 @@
+// Package exp is the experiment harness that regenerates every evaluation
+// artifact of the reproduction. The paper has no measured tables or
+// figures (it is a theory paper), so each theorem/lemma bound and each
+// comparison claim of Sections 1.3–1.4 is treated as one artifact; the
+// per-experiment index lives in DESIGN.md §5 and results are recorded in
+// EXPERIMENTS.md.
+//
+// Every experiment is a Runner keyed by its ID (T1…T7, F1…F6) returning a
+// Table. cmd/experiments renders them from the command line and
+// bench_test.go wraps each in a testing.B benchmark.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options control experiment scale and reproducibility.
+type Options struct {
+	// Seed is the master seed; every run with equal Options is identical.
+	Seed uint64
+	// Seeds is the number of independent repetitions per configuration
+	// (0 means the experiment's default).
+	Seeds int
+	// Quick shrinks instance sizes for CI/benchmark runs; full scale is
+	// used by cmd/experiments for EXPERIMENTS.md.
+	Quick bool
+}
+
+func (o Options) seeds(def int) int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	return def
+}
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Columns    []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// AddRow appends a formatted row; values are rendered with %v.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends an explanatory footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "paper: %s\n", t.PaperClaim)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+		_ = i
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, v := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (no notes).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Runner produces one experiment artifact.
+type Runner func(Options) *Table
+
+var registry = map[string]struct {
+	title  string
+	runner Runner
+}{}
+
+func register(id, title string, r Runner) {
+	registry[id] = struct {
+		title  string
+		runner Runner
+	}{title, r}
+}
+
+// IDs returns all registered experiment IDs in index order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// T before F, then numeric.
+		if ids[i][0] != ids[j][0] {
+			return ids[i][0] > ids[j][0] // 'T' > 'F'
+		}
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Title returns the registered title for id ("" if unknown).
+func Title(id string) string { return registry[id].title }
+
+// Run executes the experiment with the given ID.
+func Run(id string, o Options) (*Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (known: %s)", id, strings.Join(IDs(), " "))
+	}
+	return e.runner(o), nil
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3", "F4", "F5", "F6", "F7"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments: %v", len(ids), ids)
+	}
+	seen := make(map[string]bool)
+	for _, id := range ids {
+		seen[id] = true
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("Z9", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:         "X",
+		Title:      "demo",
+		PaperClaim: "claim",
+		Columns:    []string{"a", "bb"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", "y")
+	tbl.Note("hello %d", 7)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "claim", "2.5", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,bb\n1,2.5\n") {
+		t.Fatalf("csv output:\n%s", buf.String())
+	}
+}
+
+// TestAllExperimentsQuick executes every registered experiment at quick
+// scale: the full integration test of the reproduction pipeline.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id, Options{Seed: 1, Quick: true, Seeds: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	a, err := Run("T2", Options{Seed: 9, Quick: true, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("T2", Options{Seed: 9, Quick: true, Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := a.Render(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Render(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Fatal("same options produced different tables")
+	}
+}

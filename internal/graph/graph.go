@@ -1,0 +1,155 @@
+// Package graph provides the static undirected graphs on which radio
+// networks are simulated: a compact CSR representation, deterministic
+// generators for the topology families used throughout the experiments,
+// and the BFS/diameter/shortest-path utilities the clustering and
+// scheduling layers rely on.
+//
+// Radio networks in the paper are connected undirected graphs N = (V, E)
+// with n = |V| nodes and diameter D. Nodes are identified by dense integer
+// ids 0..n-1.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected graph in compressed sparse row form.
+// Construct one with a Builder or a generator; the zero value is an empty
+// graph with no nodes.
+type Graph struct {
+	name string
+	off  []int32 // len n+1; adjacency of v is adj[off[v]:off[v+1]]
+	adj  []int32
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int {
+	if len(g.off) == 0 {
+		return 0
+	}
+	return len(g.off) - 1
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Name returns the human-readable family name given at construction.
+func (g *Graph) Name() string { return g.name }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
+
+// Neighbors returns the neighbor list of v. The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
+
+// HasEdge reports whether {u, v} is an edge. Cost is O(log deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// Edges calls fn once per undirected edge with u < v. It stops early if fn
+// returns false.
+func (g *Graph) Edges(fn func(u, v int) bool) {
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors(u) {
+			v := int(w)
+			if u < v && !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// MaxDegree returns the maximum degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s(n=%d, m=%d)", g.name, g.N(), g.M())
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and
+// self-loops are discarded.
+type Builder struct {
+	n     int
+	name  string
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder for a graph on n nodes.
+func NewBuilder(name string, n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n, name: name}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// It panics if an endpoint is out of range.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+}
+
+// Build finalizes the graph. The builder may not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	// Deduplicate in place.
+	uniq := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	deg := make([]int32, b.n+1)
+	for _, e := range uniq {
+		deg[e[0]+1]++
+		deg[e[1]+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		deg[i+1] += deg[i]
+	}
+	adj := make([]int32, 2*len(uniq))
+	pos := make([]int32, b.n)
+	copy(pos, deg[:b.n])
+	for _, e := range uniq {
+		adj[pos[e[0]]] = e[1]
+		pos[e[0]]++
+		adj[pos[e[1]]] = e[0]
+		pos[e[1]]++
+	}
+	g := &Graph{name: b.name, off: deg, adj: adj}
+	// Neighbor lists come out sorted because edges were sorted by (u,v)
+	// for the forward direction, but reverse-direction inserts can break
+	// order; sort each list to guarantee the HasEdge invariant.
+	for v := 0; v < b.n; v++ {
+		nb := g.adj[g.off[v]:g.off[v+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return g
+}

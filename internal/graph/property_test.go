@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"radionet/internal/rng"
+)
+
+// TestHypercubeDistancesAreHamming: BFS distance in the hypercube equals
+// the Hamming distance between vertex labels.
+func TestHypercubeDistancesAreHamming(t *testing.T) {
+	g := Hypercube(6)
+	dist := g.BFS(0)
+	for v := 0; v < g.N(); v++ {
+		if int(dist[v]) != bits.OnesCount(uint(v)) {
+			t.Fatalf("dist(0,%d) = %d, want %d", v, dist[v], bits.OnesCount(uint(v)))
+		}
+	}
+}
+
+func TestDumbbellDiameterFormula(t *testing.T) {
+	// Two cliques of size s joined by a pathLen-node path: diameter is
+	// pathLen + 3 for s >= 2 (one hop inside each clique plus the bridge
+	// path's pathLen+1 edges).
+	for _, tc := range []struct{ s, p, want int }{
+		{4, 0, 3}, {4, 1, 4}, {5, 6, 9}, {2, 3, 6},
+	} {
+		g := Dumbbell(tc.s, tc.p)
+		if got := g.Diameter(); got != tc.want {
+			t.Errorf("Dumbbell(%d,%d) diameter = %d, want %d", tc.s, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCaterpillarDiameterFormula(t *testing.T) {
+	// Leg-to-leg across the full spine: spine-1 edges plus one leg hop at
+	// each end.
+	for _, tc := range []struct{ spine, legs, want int }{
+		{5, 1, 6}, {10, 2, 11}, {3, 0, 2},
+	} {
+		g := Caterpillar(tc.spine, tc.legs)
+		if got := g.Diameter(); got != tc.want {
+			t.Errorf("Caterpillar(%d,%d) diameter = %d, want %d", tc.spine, tc.legs, got, tc.want)
+		}
+	}
+}
+
+func TestRandomGeometricDeterministic(t *testing.T) {
+	a := RandomGeometric(200, 0.1, rng.New(42))
+	b := RandomGeometric(200, 0.1, rng.New(42))
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	equal := true
+	a.Edges(func(u, v int) bool {
+		if !b.HasEdge(u, v) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	if !equal {
+		t.Fatal("same seed, different edge sets")
+	}
+}
+
+// TestQuickTreeGeneratorsAcyclic: random recursive trees have exactly n-1
+// edges and are connected, hence acyclic.
+func TestQuickTreeGeneratorsAcyclic(t *testing.T) {
+	r := rng.New(99)
+	if err := quick.Check(func(seed uint64, nn uint8) bool {
+		n := int(nn%200) + 1
+		g := RandomTree(n, r.Fork(seed))
+		return g.N() == n && g.M() == n-1 && g.IsConnected()
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBFSTriangleInequality: for random graphs, dist(a,c) <=
+// dist(a,b) + dist(b,c) over BFS metrics.
+func TestQuickBFSTriangleInequality(t *testing.T) {
+	r := rng.New(123)
+	if err := quick.Check(func(seed uint64, aa, bb, cc uint8) bool {
+		g := Gnp(60, 0.06, r.Fork(seed))
+		a, b, c := int(aa)%60, int(bb)%60, int(cc)%60
+		da := g.BFS(a)
+		db := g.BFS(b)
+		return int(da[c]) <= int(da[b])+int(db[c])
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickShortestPathIsShortest: the canonical path length equals the
+// BFS distance for random pairs.
+func TestQuickShortestPathIsShortest(t *testing.T) {
+	r := rng.New(321)
+	if err := quick.Check(func(seed uint64, uu, vv uint8) bool {
+		g := Gnp(50, 0.08, r.Fork(seed))
+		u, v := int(uu)%50, int(vv)%50
+		p := g.ShortestPath(u, v)
+		d := g.BFS(u)[v]
+		return len(p) == int(d)+1
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEccentricityBounds(t *testing.T) {
+	// radius <= diameter <= 2*radius on any connected graph.
+	r := rng.New(7)
+	g := Gnp(80, 0.05, r)
+	diam := g.Diameter()
+	radius := diam
+	for v := 0; v < g.N(); v++ {
+		if e := g.Eccentricity(v); e < radius {
+			radius = e
+		}
+	}
+	if diam < radius || diam > 2*radius {
+		t.Fatalf("radius %d, diameter %d violate metric bounds", radius, diam)
+	}
+}

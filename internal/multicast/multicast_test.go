@@ -1,0 +1,109 @@
+package multicast
+
+import (
+	"testing"
+
+	"radionet/internal/graph"
+)
+
+func msgs(k int) []int64 {
+	out := make([]int64, k)
+	for i := range out {
+		out[i] = int64(1000 + i)
+	}
+	return out
+}
+
+func TestPipelinedCompletes(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Path(30),
+		graph.Grid(6, 10),
+		graph.PathOfCliques(5, 5),
+	} {
+		p, err := NewPipelined(g, 3, 0, msgs(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, done := p.Run(1 << 22)
+		if !done {
+			t.Fatalf("%v: pipelined multicast incomplete after %d rounds", g, rounds)
+		}
+		for v, nd := range p.nodes {
+			for i, m := range msgs(8) {
+				if nd.vals[i] != m {
+					t.Fatalf("%v: node %d message %d = %d, want %d", g, v, i, nd.vals[i], m)
+				}
+			}
+		}
+	}
+}
+
+func TestPipelinedValidation(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := NewPipelined(g, 1, 0, nil); err == nil {
+		t.Fatal("empty message set accepted")
+	}
+	if _, err := NewPipelined(g, 1, 9, msgs(2)); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestPipelinedSingleMessageMatchesBroadcast(t *testing.T) {
+	g := graph.Path(40)
+	p, err := NewPipelined(g, 7, 0, msgs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := p.Run(1 << 20); !done {
+		t.Fatal("k=1 multicast incomplete")
+	}
+}
+
+func TestSequentialCompletes(t *testing.T) {
+	g := graph.Grid(5, 8)
+	rounds, done := Sequential(g, 11, 0, msgs(4), 0)
+	if !done {
+		t.Fatalf("sequential multicast incomplete after %d rounds", rounds)
+	}
+	if rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestKnownCountsMonotone(t *testing.T) {
+	g := graph.Path(20)
+	p, err := NewPipelined(g, 5, 0, msgs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := p.KnownCounts()
+	for i := 0; i < 500; i++ {
+		p.Engine.Step()
+		cur := p.KnownCounts()
+		for v := range cur {
+			if cur[v] < prev[v] {
+				t.Fatalf("node %d known count decreased", v)
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestPipeliningBeatsSequentialForManyMessages is the Lemma 2.3 shape:
+// additive-in-k pipelining vs multiplicative-in-k sequential.
+func TestPipeliningBeatsSequentialForManyMessages(t *testing.T) {
+	g := graph.Path(48)
+	k := 16
+	p, err := NewPipelined(g, 9, 0, msgs(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pdone := p.Run(1 << 24)
+	sr, sdone := Sequential(g, 9, 0, msgs(k), 0)
+	if !pdone || !sdone {
+		t.Fatalf("incomplete: pipelined=%v sequential=%v", pdone, sdone)
+	}
+	if pr >= sr {
+		t.Fatalf("pipelined (%d) not faster than sequential (%d) at k=%d", pr, sr, k)
+	}
+}

@@ -1,0 +1,93 @@
+package radio
+
+import "radionet/internal/rng"
+
+// This file provides fault-injection wrappers used by the robustness
+// tests: radio networks in the field lose nodes, suffer interference, and
+// drop receptions, and the paper's algorithms should degrade gracefully
+// (uninformed-but-connected survivors must still be reached). Each wrapper
+// composes with any Node, including the TDM multiplexer.
+
+// KindNoise tags transmissions that carry no protocol content (jamming).
+// Protocols must ignore unknown kinds, so noise only causes collisions.
+const KindNoise Kind = -1
+
+// CrashNode runs Inner until round CrashAt, after which the node is dead:
+// it never transmits and discards every reception.
+type CrashNode struct {
+	Inner   Node
+	CrashAt int64
+}
+
+// Act implements Node.
+func (c *CrashNode) Act(round int64) Action {
+	if round >= c.CrashAt {
+		return Listen
+	}
+	return c.Inner.Act(round)
+}
+
+// Recv implements Node.
+func (c *CrashNode) Recv(round int64, msg *Message, collided bool) {
+	if round >= c.CrashAt {
+		return
+	}
+	c.Inner.Recv(round, msg, collided)
+}
+
+// Crashed reports whether the node is dead at the given round.
+func (c *CrashNode) Crashed(round int64) bool { return round >= c.CrashAt }
+
+// JamNode transmits noise with probability P each round and otherwise
+// behaves as Inner (pass nil Inner for a pure jammer). Jamming models
+// adversarial or environmental interference: neighbors of a jamming node
+// experience collisions whenever anyone else speaks.
+type JamNode struct {
+	Inner Node
+	P     float64
+	Rnd   *rng.Rand
+}
+
+// Act implements Node.
+func (j *JamNode) Act(round int64) Action {
+	if j.Rnd.Bernoulli(j.P) {
+		return Transmit(Message{Kind: KindNoise})
+	}
+	if j.Inner == nil {
+		return Listen
+	}
+	return j.Inner.Act(round)
+}
+
+// Recv implements Node.
+func (j *JamNode) Recv(round int64, msg *Message, collided bool) {
+	if j.Inner != nil {
+		j.Inner.Recv(round, msg, collided)
+	}
+}
+
+// LossyNode drops each successful reception with probability P (receiver
+// fade), passing silence to Inner instead.
+type LossyNode struct {
+	Inner Node
+	P     float64
+	Rnd   *rng.Rand
+}
+
+// Act implements Node.
+func (l *LossyNode) Act(round int64) Action { return l.Inner.Act(round) }
+
+// Recv implements Node.
+func (l *LossyNode) Recv(round int64, msg *Message, collided bool) {
+	if msg != nil && l.Rnd.Bernoulli(l.P) {
+		l.Inner.Recv(round, nil, false)
+		return
+	}
+	l.Inner.Recv(round, msg, collided)
+}
+
+var (
+	_ Node = (*CrashNode)(nil)
+	_ Node = (*JamNode)(nil)
+	_ Node = (*LossyNode)(nil)
+)

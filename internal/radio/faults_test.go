@@ -1,0 +1,114 @@
+package radio
+
+import (
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/rng"
+)
+
+func TestCrashNodeStopsActingAndReceiving(t *testing.T) {
+	acts, recvs := 0, 0
+	inner := &FuncNode{
+		ActFn:  func(int64) Action { acts++; return Transmit(Message{A: 1}) },
+		RecvFn: func(int64, *Message, bool) { recvs++ },
+	}
+	c := &CrashNode{Inner: inner, CrashAt: 3}
+	g := graph.Path(2)
+	e := NewEngine(g, []Node{c, &beacon{v: 9}})
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if acts != 3 {
+		t.Fatalf("inner acted %d times, want 3", acts)
+	}
+	if recvs != 0 {
+		// Node transmits while alive so it cannot receive; after crash it
+		// must not receive either.
+		t.Fatalf("inner received %d times, want 0", recvs)
+	}
+	if !c.Crashed(3) || c.Crashed(2) {
+		t.Fatal("Crashed() boundary wrong")
+	}
+}
+
+func TestCrashedNodeIsSilentOnAir(t *testing.T) {
+	g := graph.Path(2)
+	heard := 0
+	rx := &FuncNode{RecvFn: func(_ int64, m *Message, _ bool) {
+		if m != nil {
+			heard++
+		}
+	}}
+	tx := &CrashNode{Inner: &beacon{v: 5}, CrashAt: 4}
+	e := NewEngine(g, []Node{tx, rx})
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if heard != 4 {
+		t.Fatalf("receiver heard %d transmissions, want 4", heard)
+	}
+}
+
+func TestJamNodeCausesCollisions(t *testing.T) {
+	// Star center listens; one leaf beacons, the other jams always.
+	g := graph.Star(3)
+	heard, silent := 0, 0
+	rx := &FuncNode{RecvFn: func(_ int64, m *Message, _ bool) {
+		if m != nil {
+			heard++
+		} else {
+			silent++
+		}
+	}}
+	jam := &JamNode{P: 1, Rnd: rng.New(1)}
+	e := NewEngine(g, []Node{rx, &beacon{v: 5}, jam})
+	for i := 0; i < 20; i++ {
+		e.Step()
+	}
+	if heard != 0 {
+		t.Fatalf("center heard %d messages through a constant jammer", heard)
+	}
+	if e.Metrics.Collisions != 20 {
+		t.Fatalf("collisions = %d, want 20", e.Metrics.Collisions)
+	}
+}
+
+func TestJamNodePassThrough(t *testing.T) {
+	// With P=0 the wrapper is transparent.
+	acts := 0
+	inner := &FuncNode{ActFn: func(int64) Action { acts++; return Listen }}
+	j := &JamNode{Inner: inner, P: 0, Rnd: rng.New(2)}
+	g := graph.Path(2)
+	e := NewEngine(g, []Node{j, Silent{}})
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	if acts != 5 {
+		t.Fatalf("inner acted %d times, want 5", acts)
+	}
+}
+
+func TestLossyNodeDropsReceptions(t *testing.T) {
+	g := graph.Path(2)
+	heard, silent := 0, 0
+	inner := &FuncNode{RecvFn: func(_ int64, m *Message, _ bool) {
+		if m != nil {
+			heard++
+		} else {
+			silent++
+		}
+	}}
+	l := &LossyNode{Inner: inner, P: 0.5, Rnd: rng.New(3)}
+	e := NewEngine(g, []Node{l, &beacon{v: 5}})
+	for i := 0; i < 400; i++ {
+		e.Step()
+	}
+	if heard == 0 || silent == 0 {
+		t.Fatalf("lossy node heard=%d silent=%d, want both nonzero", heard, silent)
+	}
+	frac := float64(heard) / 400
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("delivery fraction %.2f, want ~0.5", frac)
+	}
+}

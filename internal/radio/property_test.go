@@ -1,0 +1,136 @@
+package radio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"radionet/internal/graph"
+	"radionet/internal/rng"
+)
+
+// scripted transmits according to a fixed per-round schedule and records
+// everything it hears.
+type scripted struct {
+	plan  []bool
+	val   int64
+	heard []int64 // -1 silence, -2 collision-detected, else message value
+}
+
+func (s *scripted) Act(t int64) Action {
+	if t < int64(len(s.plan)) && s.plan[t] {
+		return Transmit(Message{A: s.val})
+	}
+	return Listen
+}
+
+func (s *scripted) Recv(_ int64, msg *Message, collided bool) {
+	switch {
+	case msg != nil:
+		s.heard = append(s.heard, msg.A)
+	case collided:
+		s.heard = append(s.heard, -2)
+	default:
+		s.heard = append(s.heard, -1)
+	}
+}
+
+// TestEngineMatchesBruteForce cross-checks the engine's stamped-array
+// collision accounting against a naive per-round reference on random
+// graphs with random transmission schedules, in both model variants.
+func TestEngineMatchesBruteForce(t *testing.T) {
+	master := rng.New(20240610)
+	check := func(seed uint64, nRaw, rounds uint8, cd bool) bool {
+		r := master.Fork(seed)
+		n := int(nRaw%20) + 2
+		T := int(rounds%20) + 1
+		g := graph.Gnp(n, 0.3, r.Fork(1))
+		nodes := make([]*scripted, n)
+		rn := make([]Node, n)
+		for v := 0; v < n; v++ {
+			plan := make([]bool, T)
+			for i := range plan {
+				plan[i] = r.Bernoulli(0.4)
+			}
+			nodes[v] = &scripted{plan: plan, val: int64(v + 1)}
+			rn[v] = nodes[v]
+		}
+		e := NewEngine(g, rn)
+		e.CollisionDetection = cd
+		for i := 0; i < T; i++ {
+			e.Step()
+		}
+		// Brute-force reference.
+		for v := 0; v < n; v++ {
+			got := nodes[v].heard
+			gi := 0
+			for round := 0; round < T; round++ {
+				if nodes[v].plan[round] {
+					continue // transmitters do not listen
+				}
+				txNeighbors := 0
+				var txVal int64
+				for _, w := range g.Neighbors(v) {
+					if nodes[w].plan[round] {
+						txNeighbors++
+						txVal = nodes[w].val
+					}
+				}
+				var want int64
+				switch {
+				case txNeighbors == 1:
+					want = txVal
+				case txNeighbors > 1 && cd:
+					want = -2
+				default:
+					want = -1
+				}
+				if gi >= len(got) || got[gi] != want {
+					t.Logf("node %d round %d: got %v want %d (cd=%v)", v, round, got, want, cd)
+					return false
+				}
+				gi++
+			}
+			if gi != len(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsConsistency verifies the invariant deliveries + collisions
+// <= listener-rounds and transmissions == sum of plans.
+func TestMetricsConsistency(t *testing.T) {
+	r := rng.New(7)
+	g := graph.Gnp(30, 0.2, r)
+	n := g.N()
+	nodes := make([]Node, n)
+	planned := int64(0)
+	const T = 50
+	for v := 0; v < n; v++ {
+		plan := make([]bool, T)
+		for i := range plan {
+			plan[i] = r.Bernoulli(0.3)
+			if plan[i] {
+				planned++
+			}
+		}
+		nodes[v] = &scripted{plan: plan, val: 1}
+	}
+	e := NewEngine(g, nodes)
+	for i := 0; i < T; i++ {
+		e.Step()
+	}
+	m := e.Metrics
+	if m.Transmissions != planned {
+		t.Fatalf("transmissions %d, want %d", m.Transmissions, planned)
+	}
+	listenerRounds := int64(n)*T - planned
+	if m.Deliveries+m.Collisions > listenerRounds {
+		t.Fatalf("deliveries %d + collisions %d exceed listener rounds %d",
+			m.Deliveries, m.Collisions, listenerRounds)
+	}
+}

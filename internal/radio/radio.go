@@ -1,0 +1,251 @@
+// Package radio implements the synchronous multi-hop radio network model
+// of the paper: nodes operate in discrete synchronous rounds, and in each
+// round a node either transmits a message to all of its neighbors at once
+// or stays silent and listens. A listening node receives a message if and
+// only if exactly one of its neighbors transmits; otherwise it hears
+// nothing, and — in the default model without collision detection — cannot
+// distinguish silence from collision. Spontaneous transmissions are
+// allowed: any node may transmit in any round regardless of what it knows.
+//
+// Protocols are per-node state machines (the Node interface). The Engine
+// advances all nodes in lock step, applies the collision semantics, and
+// accounts rounds, transmissions, deliveries and collisions. A TDM
+// multiplexer composes sub-protocols into interleaved "lanes", which is how
+// the paper alternates its main and background processes.
+package radio
+
+import (
+	"fmt"
+
+	"radionet/internal/graph"
+)
+
+// Kind discriminates protocol message types. Values are assigned by the
+// protocol packages; the engine never interprets them.
+type Kind int16
+
+// Message is the unit of transmission. The model does not restrict message
+// size; most protocol messages fit the two integer payload fields, and the
+// rare large payloads (e.g. a clustering sequence) ride in Payload.
+type Message struct {
+	Kind Kind
+	Src  int32 // sender id, stamped by the engine
+	A, B int64 // protocol-defined payload
+	// Payload carries large protocol data. It must be treated as
+	// immutable by receivers.
+	Payload any
+}
+
+// Action is a node's choice for one round: transmit Msg, or listen.
+type Action struct {
+	Transmit bool
+	Msg      Message
+}
+
+// Listen is the do-nothing action.
+var Listen = Action{}
+
+// Transmit returns a transmitting action carrying msg.
+func Transmit(msg Message) Action { return Action{Transmit: true, Msg: msg} }
+
+// Node is a protocol state machine for a single network node.
+//
+// In every round the engine first calls Act on every node to collect the
+// round's actions, then applies collision semantics and calls Recv on
+// every node that listened. A transmitting node never receives (a radio
+// cannot listen while transmitting).
+type Node interface {
+	// Act returns the node's action for the given round.
+	Act(round int64) Action
+	// Recv reports the outcome of the round to a listening node.
+	// msg is nil if the node heard nothing; the pointer is only valid for
+	// the duration of the call. collided is false in the model without
+	// collision detection regardless of interference; with collision
+	// detection enabled it reports that two or more neighbors transmitted.
+	Recv(round int64, msg *Message, collided bool)
+}
+
+// Silent is a Node that always listens and ignores everything.
+type Silent struct{}
+
+// Act implements Node.
+func (Silent) Act(int64) Action { return Listen }
+
+// Recv implements Node.
+func (Silent) Recv(int64, *Message, bool) {}
+
+// Metrics accumulates engine counters over a run.
+type Metrics struct {
+	Rounds        int64 // rounds executed
+	Transmissions int64 // node-rounds spent transmitting
+	Deliveries    int64 // listener-rounds with a successful reception
+	Collisions    int64 // listener-rounds with >= 2 transmitting neighbors
+}
+
+// RoundHook observes one executed round: the ids of transmitting nodes
+// (the slice is reused between rounds — copy it to retain), and the
+// round's delivery and collision counts.
+type RoundHook func(round int64, transmitters []int32, deliveries, collisions int)
+
+// Engine executes a protocol on a graph under the radio collision model.
+type Engine struct {
+	G     *graph.Graph
+	Nodes []Node
+	// CollisionDetection selects the stronger model variant in which
+	// listeners can distinguish collision from silence. The paper's model
+	// (and all defaults) leave it false.
+	CollisionDetection bool
+	// Hook, if set, is invoked after every round (tracing/metrics).
+	Hook RoundHook
+
+	Metrics Metrics
+
+	round    int64
+	hits     []int32   // number of transmitting neighbors this round
+	stamp    []int64   // round stamp for lazy reset of hits
+	inbox    []Message // last message heard per node (valid when hits==1)
+	actions  []Action
+	transmit []int32 // scratch: ids of transmitting nodes
+}
+
+// NewEngine returns an engine running nodes on g. len(nodes) must equal
+// g.N().
+func NewEngine(g *graph.Graph, nodes []Node) *Engine {
+	if len(nodes) != g.N() {
+		panic(fmt.Sprintf("radio: %d nodes for graph with %d vertices", len(nodes), g.N()))
+	}
+	n := g.N()
+	return &Engine{
+		G:        g,
+		Nodes:    nodes,
+		hits:     make([]int32, n),
+		stamp:    make([]int64, n),
+		inbox:    make([]Message, n),
+		actions:  make([]Action, n),
+		transmit: make([]int32, 0, n),
+	}
+}
+
+// Round returns the index of the next round to execute.
+func (e *Engine) Round() int64 { return e.round }
+
+// Step executes exactly one synchronous round.
+func (e *Engine) Step() {
+	t := e.round
+	e.round++
+	e.Metrics.Rounds++
+	e.transmit = e.transmit[:0]
+	for i, nd := range e.Nodes {
+		a := nd.Act(t)
+		e.actions[i] = a
+		if a.Transmit {
+			e.transmit = append(e.transmit, int32(i))
+		}
+	}
+	e.Metrics.Transmissions += int64(len(e.transmit))
+	// Mark reception counts lazily: stamp arrays avoid an O(n) clear.
+	cur := t + 1 // stamps are 1-based so the zero value never matches
+	for _, u := range e.transmit {
+		msg := e.actions[u].Msg
+		msg.Src = u
+		for _, v := range e.G.Neighbors(int(u)) {
+			if e.stamp[v] != cur {
+				e.stamp[v] = cur
+				e.hits[v] = 1
+				e.inbox[v] = msg
+			} else {
+				e.hits[v]++
+			}
+		}
+	}
+	deliveries, collisions := 0, 0
+	for i, nd := range e.Nodes {
+		if e.actions[i].Transmit {
+			continue // transmitters cannot listen
+		}
+		switch {
+		case e.stamp[i] == cur && e.hits[i] == 1:
+			deliveries++
+			nd.Recv(t, &e.inbox[i], false)
+		case e.stamp[i] == cur && e.hits[i] > 1:
+			collisions++
+			nd.Recv(t, nil, e.CollisionDetection)
+		default:
+			nd.Recv(t, nil, false)
+		}
+	}
+	e.Metrics.Deliveries += int64(deliveries)
+	e.Metrics.Collisions += int64(collisions)
+	if e.Hook != nil {
+		e.Hook(t, e.transmit, deliveries, collisions)
+	}
+}
+
+// Run executes rounds until stop returns true or maxRounds rounds have
+// been executed in this call, whichever comes first. stop is evaluated
+// after each round (and once before the first, so an already-satisfied
+// predicate costs zero rounds). It returns the number of rounds executed
+// by this call and whether stop was satisfied.
+func (e *Engine) Run(maxRounds int64, stop func() bool) (rounds int64, done bool) {
+	if stop != nil && stop() {
+		return 0, true
+	}
+	for rounds = 0; rounds < maxRounds; {
+		e.Step()
+		rounds++
+		if stop != nil && stop() {
+			return rounds, true
+		}
+	}
+	return rounds, stop == nil
+}
+
+// TDM interleaves k sub-protocols in time-division lanes: global round t
+// is lane t mod k, executing sub-round t / k of that lane. This is exactly
+// how the paper runs its main and background processes "concurrently,
+// alternating between steps of each".
+type TDM struct {
+	Lanes []Node
+}
+
+// NewTDM returns a TDM node over the given lanes.
+func NewTDM(lanes ...Node) *TDM { return &TDM{Lanes: lanes} }
+
+// Act implements Node.
+func (m *TDM) Act(round int64) Action {
+	k := int64(len(m.Lanes))
+	return m.Lanes[round%k].Act(round / k)
+}
+
+// Recv implements Node.
+func (m *TDM) Recv(round int64, msg *Message, collided bool) {
+	k := int64(len(m.Lanes))
+	m.Lanes[round%k].Recv(round/k, msg, collided)
+}
+
+// FuncNode adapts plain functions to the Node interface; handy in tests.
+type FuncNode struct {
+	ActFn  func(round int64) Action
+	RecvFn func(round int64, msg *Message, collided bool)
+}
+
+// Act implements Node.
+func (f *FuncNode) Act(round int64) Action {
+	if f.ActFn == nil {
+		return Listen
+	}
+	return f.ActFn(round)
+}
+
+// Recv implements Node.
+func (f *FuncNode) Recv(round int64, msg *Message, collided bool) {
+	if f.RecvFn != nil {
+		f.RecvFn(round, msg, collided)
+	}
+}
+
+var (
+	_ Node = Silent{}
+	_ Node = (*TDM)(nil)
+	_ Node = (*FuncNode)(nil)
+)

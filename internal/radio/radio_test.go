@@ -1,0 +1,228 @@
+package radio
+
+import (
+	"testing"
+
+	"radionet/internal/graph"
+)
+
+// collector records everything a node hears.
+type collector struct {
+	heard    []int64
+	collided int
+	silent   int
+}
+
+func (c *collector) Act(int64) Action { return Listen }
+func (c *collector) Recv(_ int64, msg *Message, collided bool) {
+	switch {
+	case msg != nil:
+		c.heard = append(c.heard, msg.A)
+	case collided:
+		c.collided++
+	default:
+		c.silent++
+	}
+}
+
+// beacon transmits value v every round.
+type beacon struct{ v int64 }
+
+func (b *beacon) Act(int64) Action           { return Transmit(Message{A: b.v}) }
+func (b *beacon) Recv(int64, *Message, bool) {}
+
+func TestSingleTransmitterDelivers(t *testing.T) {
+	g := graph.Star(4) // center 0
+	c1, c2, c3 := &collector{}, &collector{}, &collector{}
+	e := NewEngine(g, []Node{&beacon{v: 42}, c1, c2, c3})
+	e.Step()
+	for i, c := range []*collector{c1, c2, c3} {
+		if len(c.heard) != 1 || c.heard[0] != 42 {
+			t.Fatalf("leaf %d heard %v, want [42]", i+1, c.heard)
+		}
+	}
+	if e.Metrics.Deliveries != 3 || e.Metrics.Transmissions != 1 {
+		t.Fatalf("metrics %+v", e.Metrics)
+	}
+}
+
+func TestCollisionIsSilenceWithoutCD(t *testing.T) {
+	g := graph.Star(3) // two leaves transmit; the center hears nothing
+	c := &collector{}
+	e := NewEngine(g, []Node{c, &beacon{v: 1}, &beacon{v: 2}})
+	e.Step()
+	if len(c.heard) != 0 {
+		t.Fatalf("center heard %v despite collision", c.heard)
+	}
+	if c.collided != 0 {
+		t.Fatal("collision flagged without collision detection")
+	}
+	if c.silent != 1 {
+		t.Fatalf("silent = %d, want 1", c.silent)
+	}
+	if e.Metrics.Collisions != 1 {
+		t.Fatalf("collisions metric = %d, want 1", e.Metrics.Collisions)
+	}
+}
+
+func TestCollisionDetectionFlag(t *testing.T) {
+	g := graph.Star(3)
+	c := &collector{}
+	e := NewEngine(g, []Node{c, &beacon{v: 1}, &beacon{v: 2}})
+	e.CollisionDetection = true
+	e.Step()
+	if c.collided != 1 {
+		t.Fatalf("collided = %d, want 1 with collision detection", c.collided)
+	}
+}
+
+func TestTransmitterCannotHear(t *testing.T) {
+	g := graph.Path(2)
+	c := &collector{}
+	b := &beacon{v: 9}
+	// Both transmit? No: node 0 is a beacon, node 1 collects but also
+	// transmits via a FuncNode wrapper. A transmitting node must not Recv.
+	recvCalled := false
+	tx := &FuncNode{
+		ActFn:  func(int64) Action { return Transmit(Message{A: 7}) },
+		RecvFn: func(int64, *Message, bool) { recvCalled = true },
+	}
+	e := NewEngine(g, []Node{b, tx})
+	e.Step()
+	_ = c
+	if recvCalled {
+		t.Fatal("transmitting node received a message")
+	}
+}
+
+func TestExactlyOneNeighborRule(t *testing.T) {
+	// Path 0-1-2-3: 0 and 2 transmit. Node 1 has two transmitting
+	// neighbors (collision); node 3 has exactly one (2) and receives.
+	g := graph.Path(4)
+	c1, c3 := &collector{}, &collector{}
+	e := NewEngine(g, []Node{&beacon{v: 10}, c1, &beacon{v: 20}, c3})
+	e.Step()
+	if len(c1.heard) != 0 {
+		t.Fatalf("node 1 heard %v, want collision silence", c1.heard)
+	}
+	if len(c3.heard) != 1 || c3.heard[0] != 20 {
+		t.Fatalf("node 3 heard %v, want [20]", c3.heard)
+	}
+}
+
+func TestSrcStamping(t *testing.T) {
+	g := graph.Path(2)
+	var src int32 = -1
+	rx := &FuncNode{RecvFn: func(_ int64, msg *Message, _ bool) {
+		if msg != nil {
+			src = msg.Src
+		}
+	}}
+	e := NewEngine(g, []Node{&beacon{v: 5}, rx})
+	e.Step()
+	if src != 0 {
+		t.Fatalf("src = %d, want 0", src)
+	}
+}
+
+func TestRunStopsOnPredicate(t *testing.T) {
+	g := graph.Path(2)
+	e := NewEngine(g, []Node{Silent{}, Silent{}})
+	count := 0
+	rounds, done := e.Run(100, func() bool { count++; return count > 5 })
+	if !done || rounds != 5 {
+		t.Fatalf("rounds = %d done = %v, want 5 true", rounds, done)
+	}
+	// Pre-satisfied predicate runs zero rounds.
+	rounds, done = e.Run(100, func() bool { return true })
+	if rounds != 0 || !done {
+		t.Fatalf("pre-satisfied: rounds = %d done = %v", rounds, done)
+	}
+}
+
+func TestRunMaxRounds(t *testing.T) {
+	g := graph.Path(2)
+	e := NewEngine(g, []Node{Silent{}, Silent{}})
+	rounds, done := e.Run(7, func() bool { return false })
+	if rounds != 7 || done {
+		t.Fatalf("rounds = %d done = %v, want 7 false", rounds, done)
+	}
+	if e.Metrics.Rounds != 7 {
+		t.Fatalf("metrics rounds = %d", e.Metrics.Rounds)
+	}
+}
+
+func TestTDMRoutesLanes(t *testing.T) {
+	g := graph.Path(2)
+	var laneARounds, laneBRounds []int64
+	laneA := &FuncNode{ActFn: func(r int64) Action { laneARounds = append(laneARounds, r); return Listen }}
+	laneB := &FuncNode{ActFn: func(r int64) Action { laneBRounds = append(laneBRounds, r); return Listen }}
+	e := NewEngine(g, []Node{NewTDM(laneA, laneB), Silent{}})
+	for i := 0; i < 6; i++ {
+		e.Step()
+	}
+	for i, r := range laneARounds {
+		if r != int64(i) {
+			t.Fatalf("lane A rounds %v", laneARounds)
+		}
+	}
+	if len(laneARounds) != 3 || len(laneBRounds) != 3 {
+		t.Fatalf("lane calls %d/%d, want 3/3", len(laneARounds), len(laneBRounds))
+	}
+}
+
+func TestTDMIsolatesTransmissions(t *testing.T) {
+	// Lane 0 of node 0 transmits; the peer's lane 0 should hear it on even
+	// global rounds and lane 1 should hear silence on odd ones.
+	g := graph.Path(2)
+	var lane0Heard, lane1Heard int
+	tx := NewTDM(
+		&FuncNode{ActFn: func(int64) Action { return Transmit(Message{A: 1}) }},
+		Silent{},
+	)
+	rx := NewTDM(
+		&FuncNode{RecvFn: func(_ int64, m *Message, _ bool) {
+			if m != nil {
+				lane0Heard++
+			}
+		}},
+		&FuncNode{RecvFn: func(_ int64, m *Message, _ bool) {
+			if m != nil {
+				lane1Heard++
+			}
+		}},
+	)
+	e := NewEngine(g, []Node{tx, rx})
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if lane0Heard != 5 || lane1Heard != 0 {
+		t.Fatalf("lane0 = %d lane1 = %d, want 5 0", lane0Heard, lane1Heard)
+	}
+}
+
+func TestEnginePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine(graph.Path(3), []Node{Silent{}})
+}
+
+func BenchmarkEngineRound(b *testing.B) {
+	g := graph.Grid(64, 64)
+	nodes := make([]Node, g.N())
+	for i := range nodes {
+		if i%7 == 0 {
+			nodes[i] = &beacon{v: int64(i)}
+		} else {
+			nodes[i] = Silent{}
+		}
+	}
+	e := NewEngine(g, nodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -1,0 +1,220 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestForkDeterministicAndIndependent(t *testing.T) {
+	parent := New(7)
+	c1a := parent.Fork(3)
+	c1b := parent.Fork(3)
+	c2 := parent.Fork(4)
+	for i := 0; i < 100; i++ {
+		v1a, v1b, v2 := c1a.Uint64(), c1b.Uint64(), c2.Uint64()
+		if v1a != v1b {
+			t.Fatalf("same fork id produced different streams at step %d", i)
+		}
+		if v1a == v2 {
+			t.Fatalf("different fork ids collided at step %d", i)
+		}
+	}
+}
+
+func TestForkDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(9), New(9)
+	_ = a.Fork(1)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Fork advanced the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	r := New(19)
+	for _, beta := range []float64{0.1, 1, 5} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := r.Exp(beta)
+			if v < 0 {
+				t.Fatalf("Exp(%v) returned negative %v", beta, v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		want := 1 / beta
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Fatalf("Exp(%v) mean = %v, want ~%v", beta, mean, want)
+		}
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.25) > 0.01 {
+		t.Fatalf("Bernoulli(0.25) frequency = %v", freq)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(37)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed element multiset: %v", xs)
+	}
+}
+
+func TestUint64Uniformity(t *testing.T) {
+	// Chi-square-ish sanity check on the top 4 bits.
+	r := New(41)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Uint64()>>60]++
+	}
+	want := n / 16
+	for b, c := range buckets {
+		if math.Abs(float64(c-want)) > 0.05*float64(want) {
+			t.Fatalf("bucket %d count %d deviates >5%% from %d", b, c, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Exp(0.1)
+	}
+	_ = sink
+}

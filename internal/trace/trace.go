@@ -1,0 +1,166 @@
+// Package trace records per-round channel activity of a radio simulation
+// and renders compact text reports: how busy the channel was over time,
+// how much of the traffic was lost to collisions, and which nodes
+// transmitted most. It attaches to an engine via the RoundHook.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"radionet/internal/radio"
+)
+
+// Sample is one recorded round.
+type Sample struct {
+	Transmitters int
+	Deliveries   int
+	Collisions   int
+}
+
+// Recorder accumulates round samples and per-node transmission counts.
+// The zero value is ready to use; attach it with Attach.
+type Recorder struct {
+	Samples []Sample
+	PerNode map[int32]int64
+}
+
+// Attach installs the recorder on the engine, replacing any previous
+// hook, and returns the recorder for chaining.
+func (r *Recorder) Attach(e *radio.Engine) *Recorder {
+	e.Hook = r.HookFunc()
+	return r
+}
+
+// HookFunc returns a RoundHook that records into r, for engines the
+// caller cannot reach directly (e.g. behind the public facade).
+func (r *Recorder) HookFunc() radio.RoundHook {
+	if r.PerNode == nil {
+		r.PerNode = make(map[int32]int64)
+	}
+	return func(_ int64, tx []int32, deliveries, collisions int) {
+		r.Samples = append(r.Samples, Sample{
+			Transmitters: len(tx),
+			Deliveries:   deliveries,
+			Collisions:   collisions,
+		})
+		for _, v := range tx {
+			r.PerNode[v]++
+		}
+	}
+}
+
+// Rounds returns the number of recorded rounds.
+func (r *Recorder) Rounds() int { return len(r.Samples) }
+
+// Totals returns the summed transmitters, deliveries and collisions.
+func (r *Recorder) Totals() (tx, deliveries, collisions int64) {
+	for _, s := range r.Samples {
+		tx += int64(s.Transmitters)
+		deliveries += int64(s.Deliveries)
+		collisions += int64(s.Collisions)
+	}
+	return tx, deliveries, collisions
+}
+
+// Busiest returns the k nodes with the most transmissions, busiest first.
+func (r *Recorder) Busiest(k int) []struct {
+	Node int32
+	Tx   int64
+} {
+	type nt struct {
+		Node int32
+		Tx   int64
+	}
+	all := make([]nt, 0, len(r.PerNode))
+	for v, c := range r.PerNode {
+		all = append(all, nt{v, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Tx != all[j].Tx {
+			return all[i].Tx > all[j].Tx
+		}
+		return all[i].Node < all[j].Node
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]struct {
+		Node int32
+		Tx   int64
+	}, k)
+	for i := 0; i < k; i++ {
+		out[i] = struct {
+			Node int32
+			Tx   int64
+		}{all[i].Node, all[i].Tx}
+	}
+	return out
+}
+
+const sparks = " .:-=+*#%@"
+
+// Timeline renders channel load (transmitters per round) as a sparkline
+// of the given width, bucketing rounds evenly.
+func (r *Recorder) Timeline(width int) string {
+	if width <= 0 || len(r.Samples) == 0 {
+		return ""
+	}
+	if width > len(r.Samples) {
+		width = len(r.Samples)
+	}
+	buckets := make([]float64, width)
+	per := float64(len(r.Samples)) / float64(width)
+	max := 0.0
+	for b := range buckets {
+		lo := int(float64(b) * per)
+		hi := int(float64(b+1) * per)
+		if hi > len(r.Samples) {
+			hi = len(r.Samples)
+		}
+		sum := 0.0
+		for _, s := range r.Samples[lo:hi] {
+			sum += float64(s.Transmitters)
+		}
+		if hi > lo {
+			buckets[b] = sum / float64(hi-lo)
+		}
+		if buckets[b] > max {
+			max = buckets[b]
+		}
+	}
+	var sb strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(sparks)-1))
+		}
+		sb.WriteByte(sparks[idx])
+	}
+	return sb.String()
+}
+
+// Report writes a human-readable activity summary.
+func (r *Recorder) Report(w io.Writer) error {
+	tx, del, col := r.Totals()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rounds:        %d\n", r.Rounds())
+	fmt.Fprintf(&sb, "transmissions: %d\n", tx)
+	fmt.Fprintf(&sb, "deliveries:    %d\n", del)
+	fmt.Fprintf(&sb, "collisions:    %d (listener-rounds)\n", col)
+	if tx > 0 {
+		fmt.Fprintf(&sb, "deliveries/tx: %.2f\n", float64(del)/float64(tx))
+	}
+	fmt.Fprintf(&sb, "channel load:  [%s]\n", r.Timeline(64))
+	if top := r.Busiest(5); len(top) > 0 {
+		fmt.Fprintf(&sb, "busiest nodes:")
+		for _, b := range top {
+			fmt.Fprintf(&sb, " %d(%d)", b.Node, b.Tx)
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

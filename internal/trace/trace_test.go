@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"radionet/internal/decay"
+	"radionet/internal/graph"
+	"radionet/internal/radio"
+)
+
+func record(t *testing.T) *Recorder {
+	t.Helper()
+	g := graph.Grid(5, 8)
+	bc := decay.NewBroadcast(g, decay.Config{}, 3, map[int]int64{0: 9})
+	rec := (&Recorder{}).Attach(bc.Engine)
+	if _, done := bc.Run(1 << 20); !done {
+		t.Fatal("broadcast incomplete")
+	}
+	return rec
+}
+
+func TestRecorderCountsMatchMetrics(t *testing.T) {
+	g := graph.Grid(5, 8)
+	bc := decay.NewBroadcast(g, decay.Config{}, 3, map[int]int64{0: 9})
+	rec := (&Recorder{}).Attach(bc.Engine)
+	bc.Run(1 << 20)
+	tx, del, col := rec.Totals()
+	m := bc.Engine.Metrics
+	if tx != m.Transmissions || del != m.Deliveries || col != m.Collisions {
+		t.Fatalf("recorder (%d,%d,%d) != metrics (%d,%d,%d)",
+			tx, del, col, m.Transmissions, m.Deliveries, m.Collisions)
+	}
+	if int64(rec.Rounds()) != m.Rounds {
+		t.Fatalf("rounds %d != %d", rec.Rounds(), m.Rounds)
+	}
+}
+
+func TestBusiest(t *testing.T) {
+	rec := record(t)
+	top := rec.Busiest(3)
+	if len(top) == 0 {
+		t.Fatal("no busiest nodes")
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Tx > top[i-1].Tx {
+			t.Fatal("busiest not sorted")
+		}
+	}
+	// Asking for more than exist is fine.
+	all := rec.Busiest(1 << 20)
+	if len(all) != len(rec.PerNode) {
+		t.Fatalf("Busiest(max) returned %d of %d", len(all), len(rec.PerNode))
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	rec := record(t)
+	line := rec.Timeline(40)
+	if len(line) != 40 {
+		t.Fatalf("timeline width %d, want 40", len(line))
+	}
+	if strings.TrimSpace(line) == "" {
+		t.Fatal("timeline is blank despite traffic")
+	}
+	if rec.Timeline(0) != "" {
+		t.Fatal("zero-width timeline should be empty")
+	}
+	if (&Recorder{}).Timeline(10) != "" {
+		t.Fatal("empty recorder timeline should be empty")
+	}
+}
+
+func TestReport(t *testing.T) {
+	rec := record(t)
+	var buf bytes.Buffer
+	if err := rec.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rounds:", "transmissions:", "deliveries/tx:", "busiest nodes:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestHookSliceNotRetained(t *testing.T) {
+	// The engine reuses the transmitters slice; the recorder must not
+	// alias it. Two beacons guarantee a nonempty slice each round.
+	g := graph.Path(3)
+	e := radio.NewEngine(g, []radio.Node{
+		beacon{}, radio.Silent{}, beacon{},
+	})
+	rec := (&Recorder{}).Attach(e)
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if rec.PerNode[0] != 10 || rec.PerNode[2] != 10 {
+		t.Fatalf("per-node counts %v", rec.PerNode)
+	}
+}
+
+type beacon struct{}
+
+func (beacon) Act(int64) radio.Action           { return radio.Transmit(radio.Message{A: 1}) }
+func (beacon) Recv(int64, *radio.Message, bool) {}

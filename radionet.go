@@ -1,0 +1,329 @@
+// Package radionet is a simulator and algorithm library for multi-hop
+// radio networks, built as a full reproduction of:
+//
+//	Artur Czumaj and Peter Davies. "Exploiting Spontaneous Transmissions
+//	for Broadcasting and Leader Election in Radio Networks." PODC 2017.
+//
+// The model: an unknown-topology, undirected, connected radio network of
+// n nodes with diameter D, synchronous rounds, no collision detection,
+// spontaneous transmissions allowed. A listening node receives a message
+// iff exactly one of its neighbors transmits.
+//
+// The package exposes:
+//
+//   - topology generators and a packet-level radio simulator,
+//   - the paper's Compete/Broadcast/LeaderElection algorithms
+//     (O(D·log n/log D + polylog n) rounds whp),
+//   - the prior-work baselines they are compared against (Decay/BGI,
+//     truncated Decay, Haeupler–Wajc mode, binary-search and
+//     max-broadcast leader election), and
+//   - the Miller–Peng–Xu Partition(β) clustering in centralized and
+//     distributed forms.
+//
+// Quick start:
+//
+//	g := radionet.Grid(16, 64)
+//	net := radionet.NewNetwork(g)
+//	res, err := net.Broadcast(0, 42, radionet.BroadcastOptions{Seed: 1})
+//	// res.Rounds is the number of radio rounds until every node knew 42.
+//
+// The experiment harness behind DESIGN.md §5 and EXPERIMENTS.md is in
+// cmd/experiments; runnable scenarios are under examples/.
+package radionet
+
+import (
+	"errors"
+	"fmt"
+
+	"radionet/internal/baseline"
+	"radionet/internal/cd"
+	"radionet/internal/cluster"
+	"radionet/internal/compete"
+	"radionet/internal/decay"
+	"radionet/internal/graph"
+	"radionet/internal/radio"
+	"radionet/internal/rng"
+)
+
+// Graph is an immutable undirected network topology.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges into a Graph.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a named graph on n nodes.
+func NewGraphBuilder(name string, n int) *GraphBuilder { return graph.NewBuilder(name, n) }
+
+// Topology generators (see internal/graph for the full catalogue).
+var (
+	// Path returns the path graph on n nodes.
+	Path = graph.Path
+	// Cycle returns the cycle on n >= 3 nodes.
+	Cycle = graph.Cycle
+	// Grid returns the rows x cols grid.
+	Grid = graph.Grid
+	// Star returns the star on n nodes with center 0.
+	Star = graph.Star
+	// Complete returns the complete graph on n nodes.
+	Complete = graph.Complete
+	// Hypercube returns the dim-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// BalancedTree returns the complete arity-ary tree of the given depth.
+	BalancedTree = graph.BalancedTree
+	// PathOfCliques returns k cliques of size s chained by bridge edges.
+	PathOfCliques = graph.PathOfCliques
+	// Caterpillar returns a spine path with pendant legs.
+	Caterpillar = graph.Caterpillar
+	// Dumbbell returns two cliques joined by a path.
+	Dumbbell = graph.Dumbbell
+)
+
+// RandomGeometric returns a connected unit-disk graph of n nodes with the
+// given radius, the classic ad-hoc wireless deployment model.
+func RandomGeometric(n int, radius float64, seed uint64) *Graph {
+	return graph.RandomGeometric(n, radius, rng.New(seed))
+}
+
+// Gnp returns a connected Erdős–Rényi graph (a random spanning tree plus
+// G(n, p) edges).
+func Gnp(n int, p float64, seed uint64) *Graph {
+	return graph.Gnp(n, p, rng.New(seed))
+}
+
+// RandomTree returns a uniform random recursive tree on n nodes.
+func RandomTree(n int, seed uint64) *Graph {
+	return graph.RandomTree(n, rng.New(seed))
+}
+
+// Algorithm selects a broadcasting algorithm.
+type Algorithm string
+
+// Broadcasting algorithms.
+const (
+	// CD17 is the paper's algorithm: Compete over random fine clusterings
+	// with Theorem 2.2 curtailment. O(D·log n/log D + polylog n) whp.
+	CD17 Algorithm = "cd17"
+	// HW16 is the Haeupler–Wajc PODC'16 comparison mode: the same
+	// pipeline with their O(log log n)-longer intra-cluster schedules.
+	HW16 Algorithm = "hw16"
+	// BGI is the classical Decay broadcast of Bar-Yehuda–Goldreich–Itai,
+	// O((D+log n)·log n); no spontaneous transmissions.
+	BGI Algorithm = "bgi"
+	// TruncatedDecay is the Czumaj–Rytter/Kowalski–Pelc-flavored
+	// surrogate, O(D·log(n/D) + log²n)-style truncated Decay phases.
+	TruncatedDecay Algorithm = "truncated-decay"
+)
+
+// Config re-exports the paper algorithm's tunable constants.
+type Config = compete.Config
+
+// Network wraps a topology with its (estimated) diameter, the two
+// parameters the model assumes nodes know.
+type Network struct {
+	G *Graph
+	// Diameter is the hop diameter D. NewNetwork fills it with an
+	// iterated double-sweep estimate (exact on the provided structured
+	// families); set it explicitly when known.
+	Diameter int
+}
+
+// NewNetwork returns a Network for g with an estimated diameter. It
+// panics if g is empty or disconnected (the model requires connectivity).
+func NewNetwork(g *Graph) *Network {
+	if g.N() == 0 {
+		panic("radionet: empty graph")
+	}
+	if !g.IsConnected() {
+		panic("radionet: disconnected graph")
+	}
+	return &Network{G: g, Diameter: g.DiameterEstimate()}
+}
+
+// Result reports a protocol run.
+type Result struct {
+	// Rounds is the number of propagation rounds executed until the
+	// completion condition held (or the budget ran out).
+	Rounds int64
+	// PrecomputeRounds is the charged cost of the precomputation phase
+	// for the clustering algorithms (0 for the oblivious baselines); see
+	// DESIGN.md §3.
+	PrecomputeRounds int64
+	// Done reports whether the task completed within budget.
+	Done bool
+}
+
+// RoundHook observes every executed round (tracing/metrics); see
+// internal/trace for a ready-made recorder.
+type RoundHook = radio.RoundHook
+
+// BroadcastOptions configure Broadcast and Compete.
+type BroadcastOptions struct {
+	// Algorithm defaults to CD17.
+	Algorithm Algorithm
+	// Seed makes the run reproducible; equal seeds give identical runs.
+	Seed uint64
+	// MaxRounds caps the run; 0 selects a whp-sufficient budget.
+	MaxRounds int64
+	// Config tunes the CD17/HW16 pipeline (zero value = defaults).
+	Config Config
+	// Hook, if set, observes every round of the run.
+	Hook RoundHook
+}
+
+// Broadcast delivers value from node src to every node and returns the
+// round count (Theorem 5.1 for the CD17 algorithm).
+func (n *Network) Broadcast(src int, value int64, o BroadcastOptions) (Result, error) {
+	if src < 0 || src >= n.G.N() {
+		return Result{}, fmt.Errorf("radionet: source %d out of range", src)
+	}
+	if value < 0 {
+		return Result{}, errors.New("radionet: message values must be non-negative")
+	}
+	return n.Compete(map[int]int64{src: value}, o)
+}
+
+// Compete runs the paper's generalized primitive: every source in sources
+// holds a message, and on completion all nodes know the highest one
+// (Theorem 4.1). The oblivious baselines run their multi-source
+// extensions.
+func (n *Network) Compete(sources map[int]int64, o BroadcastOptions) (Result, error) {
+	switch o.Algorithm {
+	case "", CD17, HW16:
+		cfg := o.Config
+		if o.Algorithm == HW16 {
+			cfg.CurtailLogLog = true
+		}
+		c, err := compete.New(n.G, n.Diameter, cfg, o.Seed, sources)
+		if err != nil {
+			return Result{}, err
+		}
+		c.Engine.Hook = o.Hook
+		rounds, done := c.Run(o.MaxRounds)
+		return Result{Rounds: rounds, PrecomputeRounds: c.PrecomputeRounds, Done: done}, nil
+	case BGI, TruncatedDecay:
+		var bc *decay.Broadcast
+		if o.Algorithm == BGI {
+			bc = decay.NewBroadcast(n.G, decay.Config{}, o.Seed, sources)
+		} else {
+			bc = baseline.NewTruncatedDecay(n.G, n.Diameter, o.Seed, sources)
+		}
+		bc.Engine.Hook = o.Hook
+		budget := o.MaxRounds
+		if budget <= 0 {
+			l := int64(decay.Levels(n.G.N()))
+			budget = 20 * (int64(n.Diameter) + l) * l
+		}
+		rounds, done := bc.Run(budget)
+		return Result{Rounds: rounds, Done: done}, nil
+	default:
+		return Result{}, fmt.Errorf("radionet: unknown algorithm %q", o.Algorithm)
+	}
+}
+
+// LeaderAlgorithm selects a leader election algorithm.
+type LeaderAlgorithm string
+
+// Leader election algorithms.
+const (
+	// CD17Leader is Algorithm 6 of the paper: O(log n) random candidates
+	// compete; O(D·log n/log D + polylog n) whp (Theorem 5.2).
+	CD17Leader LeaderAlgorithm = "cd17"
+	// BinarySearchLeader is the classical [2] reduction: a network-wide
+	// binary search over the ID space, O(T_BC · log n).
+	BinarySearchLeader LeaderAlgorithm = "binary-search"
+	// MaxBroadcastLeader elects via one multi-source max-propagating
+	// Decay broadcast, the expected-O(T_BC) approach of [8].
+	MaxBroadcastLeader LeaderAlgorithm = "max-broadcast"
+)
+
+// LeaderOptions configure LeaderElection.
+type LeaderOptions struct {
+	// Algorithm defaults to CD17Leader.
+	Algorithm LeaderAlgorithm
+	// Seed makes the run reproducible.
+	Seed uint64
+	// MaxRounds caps the run; 0 selects a whp-sufficient budget.
+	MaxRounds int64
+	// Config tunes the CD17 pipeline.
+	Config Config
+}
+
+// LeaderResult reports a leader election run.
+type LeaderResult struct {
+	Result
+	// Leader is the elected node (-1 if the run did not complete).
+	Leader int
+	// LeaderID is the agreed-upon winning ID.
+	LeaderID int64
+	// Candidates is the sampled candidate set (node -> ID).
+	Candidates map[int]int64
+}
+
+// LeaderElection elects a single leader known to all nodes.
+func (n *Network) LeaderElection(o LeaderOptions) (LeaderResult, error) {
+	switch o.Algorithm {
+	case "", CD17Leader:
+		le, err := compete.NewLeaderElection(n.G, n.Diameter, compete.LeaderConfig{Config: o.Config}, o.Seed)
+		if err != nil {
+			return LeaderResult{}, err
+		}
+		rounds, done := le.Run(o.MaxRounds)
+		res := LeaderResult{
+			Result:     Result{Rounds: rounds, PrecomputeRounds: le.PrecomputeRounds, Done: done},
+			Leader:     le.Leader(),
+			Candidates: le.Candidates,
+		}
+		if done {
+			res.LeaderID = le.TrueMax()
+		}
+		return res, nil
+	case BinarySearchLeader:
+		le, err := baseline.NewBinarySearchLE(n.G, n.Diameter, o.Seed, 0, 0, 0)
+		if err != nil {
+			return LeaderResult{}, err
+		}
+		r := le.Run()
+		return LeaderResult{
+			Result:     Result{Rounds: r.Rounds, Done: r.Done},
+			Leader:     r.Leader,
+			LeaderID:   r.LeaderID,
+			Candidates: le.Candidates(),
+		}, nil
+	case MaxBroadcastLeader:
+		le, err := baseline.NewMaxBroadcastLE(n.G, n.Diameter, o.Seed, 0, 0, o.MaxRounds)
+		if err != nil {
+			return LeaderResult{}, err
+		}
+		r := le.Run()
+		return LeaderResult{
+			Result:     Result{Rounds: r.Rounds, Done: r.Done},
+			Leader:     r.Leader,
+			LeaderID:   r.LeaderID,
+			Candidates: le.Candidates(),
+		}, nil
+	default:
+		return LeaderResult{}, fmt.Errorf("radionet: unknown leader algorithm %q", o.Algorithm)
+	}
+}
+
+// BroadcastCD broadcasts value from src under the *stronger* model variant
+// with collision detection (Section 1.1 of the paper), using the
+// deterministic beep-wave pipeline: ecc(src) + 3·bits + O(1) rounds. It
+// exists to quantify the model separation the paper discusses; all other
+// methods use the no-collision-detection model.
+func (n *Network) BroadcastCD(src int, value int64) (Result, error) {
+	b, err := cd.NewBroadcast(n.G, src, value)
+	if err != nil {
+		return Result{}, err
+	}
+	rounds, done := b.Run(b.RoundsNeeded(n.Diameter) + 16)
+	return Result{Rounds: rounds, Done: done}, nil
+}
+
+// Clustering re-exports the Miller–Peng–Xu Partition(β) result type.
+type Clustering = cluster.Result
+
+// PartitionGraph runs the centralized Partition(β) of Lemma 2.1 on g.
+func PartitionGraph(g *Graph, beta float64, seed uint64) *Clustering {
+	return cluster.Partition(g, beta, rng.New(seed))
+}

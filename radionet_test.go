@@ -1,0 +1,146 @@
+package radionet
+
+import (
+	"testing"
+)
+
+func TestNetworkBroadcastAllAlgorithms(t *testing.T) {
+	net := NewNetwork(Grid(6, 10))
+	for _, algo := range []Algorithm{CD17, HW16, BGI, TruncatedDecay} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			res, err := net.Broadcast(0, 42, BroadcastOptions{Algorithm: algo, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Done {
+				t.Fatalf("%s broadcast incomplete after %d rounds", algo, res.Rounds)
+			}
+			if res.Rounds <= 0 {
+				t.Fatalf("%s reported %d rounds", algo, res.Rounds)
+			}
+		})
+	}
+}
+
+func TestNetworkBroadcastValidation(t *testing.T) {
+	net := NewNetwork(Path(10))
+	if _, err := net.Broadcast(-1, 1, BroadcastOptions{}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := net.Broadcast(0, -1, BroadcastOptions{}); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	if _, err := net.Broadcast(0, 1, BroadcastOptions{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestNetworkCompete(t *testing.T) {
+	net := NewNetwork(PathOfCliques(5, 4))
+	res, err := net.Compete(map[int]int64{0: 5, 19: 9}, BroadcastOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("compete incomplete")
+	}
+	if res.PrecomputeRounds <= 0 {
+		t.Fatal("CD17 should charge precompute rounds")
+	}
+}
+
+func TestNetworkLeaderElectionAllAlgorithms(t *testing.T) {
+	net := NewNetwork(Grid(6, 6))
+	for _, algo := range []LeaderAlgorithm{CD17Leader, BinarySearchLeader, MaxBroadcastLeader} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			res, err := net.LeaderElection(LeaderOptions{Algorithm: algo, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Done || res.Leader < 0 {
+				t.Fatalf("%s election failed: %+v", algo, res.Result)
+			}
+			if got := res.Candidates[res.Leader]; got != res.LeaderID {
+				t.Fatalf("%s: leader's ID %d != winner %d", algo, got, res.LeaderID)
+			}
+		})
+	}
+	if _, err := net.LeaderElection(LeaderOptions{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown leader algorithm accepted")
+	}
+}
+
+func TestNewNetworkPanics(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"empty":        NewGraphBuilder("e", 0).Build(),
+		"disconnected": NewGraphBuilder("d", 2).Build(),
+	} {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewNetwork(g)
+		})
+	}
+}
+
+func TestBroadcastCDFacade(t *testing.T) {
+	net := NewNetwork(Grid(6, 10))
+	res, err := net.BroadcastCD(0, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("CD broadcast incomplete: %+v", res)
+	}
+	// With collision detection the beep-wave run is far below any no-CD
+	// algorithm's cost on this graph.
+	if res.Rounds > 200 {
+		t.Fatalf("CD broadcast took %d rounds, expected ~D+3B", res.Rounds)
+	}
+	if _, err := net.BroadcastCD(-1, 1); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestPartitionGraphFacade(t *testing.T) {
+	p := PartitionGraph(Grid(8, 8), 0.3, 11)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumClusters() < 2 {
+		t.Fatalf("suspicious cluster count %d", p.NumClusters())
+	}
+}
+
+func TestGeneratorsFacade(t *testing.T) {
+	for _, g := range []*Graph{
+		Path(5), Cycle(5), Grid(2, 3), Star(4), Complete(4), Hypercube(3),
+		BalancedTree(2, 2), PathOfCliques(2, 3), Caterpillar(3, 1), Dumbbell(3, 1),
+		RandomGeometric(50, 0.25, 1), Gnp(50, 0.05, 2), RandomTree(50, 3),
+	} {
+		if g.N() == 0 || !g.IsConnected() {
+			t.Fatalf("facade generator produced bad graph %v", g)
+		}
+	}
+}
+
+func TestDeterministicFacadeRuns(t *testing.T) {
+	net := NewNetwork(Path(40))
+	a, err := net.Broadcast(0, 1, BroadcastOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Broadcast(0, 1, BroadcastOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("same seed different rounds: %d vs %d", a.Rounds, b.Rounds)
+	}
+}
