@@ -29,12 +29,13 @@ func main() {
 
 func run() error {
 	var (
-		runIDs = flag.String("run", "all", "comma-separated experiment IDs (T1..T7, F1..F6) or 'all'")
-		quick  = flag.Bool("quick", false, "small instances (CI scale)")
-		seeds  = flag.Int("seeds", 0, "repetitions per configuration (0 = experiment default)")
-		seed   = flag.Uint64("seed", 1, "master seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		runIDs  = flag.String("run", "all", "comma-separated experiment IDs (T1..T7, F1..F6) or 'all'")
+		quick   = flag.Bool("quick", false, "small instances (CI scale)")
+		seeds   = flag.Int("seeds", 0, "repetitions per configuration (0 = experiment default)")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		workers = flag.Int("workers", 0, "worker goroutines for repetition loops (0 = GOMAXPROCS); tables are identical for every value")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func run() error {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := exp.Options{Seed: *seed, Seeds: *seeds, Quick: *quick}
+	opts := exp.Options{Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers}
 	for _, id := range ids {
 		start := time.Now()
 		tbl, err := exp.Run(id, opts)

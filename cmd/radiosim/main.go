@@ -1,11 +1,14 @@
-// Command radiosim runs a single broadcasting or leader election protocol
-// on a generated radio network topology and prints the outcome.
+// Command radiosim runs a broadcasting or leader election protocol on a
+// generated radio network topology and prints the outcome. With -trials N
+// it fans N independently seeded runs of the same scenario out across the
+// campaign worker pool and prints aggregate round statistics.
 //
 // Examples:
 //
 //	radiosim -topology grid -rows 16 -cols 64 -algo cd17
 //	radiosim -topology cliquepath -k 32 -s 8 -algo bgi -seed 7
 //	radiosim -topology geometric -n 500 -radius 0.08 -task leader
+//	radiosim -topology grid -algo cd17 -trials 100 -workers 8
 package main
 
 import (
@@ -14,6 +17,9 @@ import (
 	"os"
 
 	"radionet"
+	"radionet/internal/campaign"
+	"radionet/internal/rng"
+	"radionet/internal/stats"
 	"radionet/internal/trace"
 )
 
@@ -42,6 +48,8 @@ func run() error {
 		source   = flag.Int("source", 0, "broadcast source node")
 		max      = flag.Int64("maxrounds", 0, "round budget (0 = algorithm default)")
 		doTrace  = flag.Bool("trace", false, "print a channel activity report after the run")
+		trials   = flag.Int("trials", 1, "independent runs of the scenario (each with a seed derived from -seed)")
+		workers  = flag.Int("workers", 0, "worker goroutines for -trials fan-out (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -70,6 +78,13 @@ func run() error {
 	}
 	net := radionet.NewNetwork(g)
 	fmt.Printf("network: %v, diameter=%d\n", g, net.Diameter)
+
+	if *trials > 1 {
+		if *doTrace {
+			return fmt.Errorf("-trace requires a single run (drop -trials)")
+		}
+		return runTrials(net, *task, *algo, *seed, *value, *source, *max, *trials, *workers)
+	}
 
 	switch *task {
 	case "broadcast":
@@ -113,6 +128,70 @@ func run() error {
 		}
 	default:
 		return fmt.Errorf("unknown task %q", *task)
+	}
+	return nil
+}
+
+// runTrials is the -trials fan-out mode: n independent runs of the same
+// scenario across the campaign worker pool, each with its own RNG stream
+// derived from the master seed, reduced to aggregate round statistics.
+// Output is identical for every -workers value.
+func runTrials(net *radionet.Network, task, algo string, seed uint64, value int64, source int, max int64, trials, workers int) error {
+	seeds := rng.New(seed).Fork(0x7215)
+	rounds := make([]float64, trials)
+	failed := make([]bool, trials)
+	errs := make([]error, trials)
+	campaign.ForEach(workers, trials, func(i int) {
+		trialSeed := seeds.Fork(uint64(i)).Uint64()
+		var (
+			res radionet.Result
+			err error
+		)
+		switch task {
+		case "broadcast":
+			res, err = net.Broadcast(source, value, radionet.BroadcastOptions{
+				Algorithm: radionet.Algorithm(algo),
+				Seed:      trialSeed,
+				MaxRounds: max,
+			})
+		case "leader":
+			var lr radionet.LeaderResult
+			lr, err = net.LeaderElection(radionet.LeaderOptions{
+				Algorithm: radionet.LeaderAlgorithm(algo),
+				Seed:      trialSeed,
+				MaxRounds: max,
+			})
+			res = lr.Result
+		default:
+			err = fmt.Errorf("unknown task %q", task)
+		}
+		if err != nil {
+			errs[i] = err // a config error; identical for every trial
+			failed[i] = true
+			return
+		}
+		rounds[i] = float64(res.Rounds)
+		failed[i] = !res.Done
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	var agg stats.Running
+	failures := 0
+	for i := range rounds {
+		agg.Add(rounds[i])
+		if failed[i] {
+			failures++
+		}
+	}
+	s := agg.Summary()
+	fmt.Printf("%s(%s): trials=%d failures=%d\n", task, algo, trials, failures)
+	fmt.Printf("rounds: mean=%.1f std=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.0f\n",
+		s.Mean, s.Std, s.P50, s.P90, s.P99, s.Max)
+	if failures > 0 {
+		return fmt.Errorf("%d/%d trials did not complete within budget", failures, trials)
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module radionet
+
+go 1.24

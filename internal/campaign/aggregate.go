@@ -1,0 +1,79 @@
+package campaign
+
+import "radionet/internal/stats"
+
+// Dist is the rendered distribution of one metric over a configuration's
+// trials.
+type Dist struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func distOf(r *stats.Running) Dist {
+	return Dist{
+		Mean: r.Mean(),
+		Std:  r.Std(),
+		P50:  r.Quantile(0.5),
+		P90:  r.Quantile(0.9),
+		P99:  r.Quantile(0.99),
+		Max:  r.Max(),
+	}
+}
+
+// ConfigSummary is the aggregate of every trial of one configuration —
+// one output row of a campaign.
+type ConfigSummary struct {
+	Topology string `json:"topology"`
+	N        int    `json:"n"`
+	D        int    `json:"d"`
+	Task     string `json:"task"`
+	Algo     string `json:"algo"`
+	Trials   int    `json:"trials"`
+	// Failures counts trials that did not complete within budget (or
+	// failed to construct).
+	Failures int  `json:"failures"`
+	Rounds   Dist `json:"rounds"`
+	Tx       Dist `json:"transmissions"`
+	// WallMS is present only when the campaign ran with Timings: wall
+	// time is non-deterministic and would break byte-identical output.
+	WallMS *Dist `json:"wall_ms,omitempty"`
+}
+
+// summarize aggregates configuration ci from the per-trial result slice.
+// Trials are folded in repetition order — never completion order — so the
+// floating-point reductions are identical for every worker count.
+func summarize(p *Plan, ci int, results []TrialResult, timings bool) ConfigSummary {
+	cfg := &p.Configs[ci]
+	var rounds, tx, wall stats.Running
+	failures := 0
+	base := ci * p.Seeds
+	for rep := 0; rep < p.Seeds; rep++ {
+		r := results[base+rep]
+		if !r.Done {
+			failures++
+		}
+		rounds.Add(float64(r.Rounds))
+		tx.Add(float64(r.Tx))
+		wall.Add(float64(r.Wall.Nanoseconds()) / 1e6)
+	}
+	s := ConfigSummary{
+		Topology: cfg.Topology,
+		N:        cfg.G.N(),
+		D:        cfg.D,
+		Task:     string(cfg.Spec.Task),
+		Algo:     cfg.Spec.Algo,
+		Trials:   p.Seeds,
+		Failures: failures,
+		Rounds:   distOf(&rounds),
+		Tx:       distOf(&tx),
+	}
+	if timings {
+		w := distOf(&wall)
+		s.WallMS = &w
+	}
+	return s
+}

@@ -1,0 +1,218 @@
+// Package campaign is the parallel simulation-campaign engine: the
+// execution layer between the algorithm library (internal/compete,
+// internal/decay, internal/baseline) and the CLIs.
+//
+// A campaign is described declaratively by a Matrix — a topology sweep
+// crossed with (task, algorithm) pairs and a seed range — which Expand
+// turns into a deterministic trial list. A worker pool (ForEach) fans the
+// trials out across GOMAXPROCS goroutines; every trial derives an
+// independent RNG stream from the master seed via rng.Hash64, so the same
+// master seed produces bit-identical aggregates regardless of worker count
+// or completion order. Per-configuration aggregation streams results to
+// pluggable sinks (aligned text, CSV, JSON lines) as soon as each
+// configuration's trials complete, in deterministic configuration order.
+//
+// cmd/campaign drives matrices from flags or a JSON config file;
+// internal/exp routes its repetition loops through ForEach so
+// cmd/experiments parallelizes for free; cmd/radiosim uses the same
+// executor for its -trials fan-out mode.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"radionet/internal/graph"
+	"radionet/internal/rng"
+)
+
+// Task names the protocol problem a trial solves.
+type Task string
+
+// Supported tasks.
+const (
+	Broadcast Task = "broadcast"
+	Leader    Task = "leader"
+)
+
+// AlgoSpec selects one algorithm for one task.
+type AlgoSpec struct {
+	Task Task   `json:"task"`
+	Algo string `json:"algo"`
+}
+
+func (a AlgoSpec) String() string { return string(a.Task) + ":" + a.Algo }
+
+// Matrix is the declarative description of a campaign: every topology is
+// crossed with every (task, algorithm) pair, and each resulting
+// configuration is repeated for Seeds independent trials.
+type Matrix struct {
+	// Topologies are topology specs like "grid:16x16" or "gnp:400:0.01"
+	// (see ParseTopology for the grammar).
+	Topologies []string `json:"topologies"`
+	// Algorithms are the (task, algorithm) pairs to run on every topology.
+	Algorithms []AlgoSpec `json:"algorithms"`
+	// Seeds is the number of independent trials per configuration.
+	Seeds int `json:"seeds"`
+	// MasterSeed determines every random choice of the campaign: topology
+	// generation and each trial's RNG stream.
+	MasterSeed uint64 `json:"master_seed"`
+	// MaxRounds caps each trial (0 selects per-algorithm whp budgets).
+	MaxRounds int64 `json:"max_rounds,omitempty"`
+}
+
+// LoadMatrix reads a Matrix from JSON, rejecting unknown fields.
+func LoadMatrix(r io.Reader) (Matrix, error) {
+	var m Matrix
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Matrix{}, fmt.Errorf("campaign: config: %w", err)
+	}
+	return m, nil
+}
+
+// Config is one expanded (topology, task, algorithm) cell of the matrix.
+type Config struct {
+	Topology string // canonical topology spec
+	G        *graph.Graph
+	D        int // estimated hop diameter, as the model assumes known
+	Spec     AlgoSpec
+}
+
+// Trial is one scheduled protocol run.
+type Trial struct {
+	// Index is the position in the deterministic trial order.
+	Index int
+	// Cfg indexes Plan.Configs.
+	Cfg int
+	// Rep is the repetition number within the configuration.
+	Rep int
+	// Seed is the trial's independent RNG stream, a pure function of
+	// (master seed, configuration, repetition).
+	Seed uint64
+}
+
+// Plan is an expanded Matrix: the configuration list and the flat,
+// deterministically ordered trial list.
+type Plan struct {
+	Configs []Config
+	Trials  []Trial
+	Seeds   int
+	Max     int64
+}
+
+// Expand validates the matrix and builds the deterministic trial list.
+// Topology graphs are generated here (seeded from the master seed), so an
+// expanded plan is immutable and safe for concurrent trial execution.
+func (m Matrix) Expand() (*Plan, error) {
+	if len(m.Topologies) == 0 {
+		return nil, fmt.Errorf("campaign: matrix has no topologies")
+	}
+	if len(m.Algorithms) == 0 {
+		return nil, fmt.Errorf("campaign: matrix has no algorithms")
+	}
+	if m.Seeds <= 0 {
+		return nil, fmt.Errorf("campaign: matrix needs seeds > 0")
+	}
+	for _, a := range m.Algorithms {
+		if err := validateAlgo(a); err != nil {
+			return nil, err
+		}
+	}
+	p := &Plan{Seeds: m.Seeds, Max: m.MaxRounds}
+	// Two disjoint stream families derived from the master seed: one per
+	// topology (graph generation), one per trial. Fork's SplitMix64-based
+	// derivation keeps streams independent even for adjacent ids.
+	master := rng.New(m.MasterSeed)
+	topoStreams := master.Fork(0x70b0)
+	trialStreams := master.Fork(0x7291a1)
+	for ti, spec := range m.Topologies {
+		topo, err := ParseTopology(spec)
+		if err != nil {
+			return nil, err
+		}
+		g := topo.Build(topoStreams.Fork(uint64(ti)).Uint64())
+		d := g.DiameterEstimate()
+		for _, a := range m.Algorithms {
+			p.Configs = append(p.Configs, Config{Topology: topo.Spec, G: g, D: d, Spec: a})
+		}
+	}
+	for ci := range p.Configs {
+		for rep := 0; rep < m.Seeds; rep++ {
+			p.Trials = append(p.Trials, Trial{
+				Index: len(p.Trials),
+				Cfg:   ci,
+				Rep:   rep,
+				Seed:  trialStreams.Fork(uint64(ci)<<32 | uint64(rep)).Uint64(),
+			})
+		}
+	}
+	return p, nil
+}
+
+// Campaign binds a Matrix to execution parameters.
+type Campaign struct {
+	Matrix
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// Timings includes wall-time aggregates in the output. They are
+	// non-deterministic, so sinks omit them unless asked.
+	Timings bool
+}
+
+// Run expands the matrix, executes every trial across the worker pool, and
+// streams one ConfigSummary per configuration — in deterministic
+// configuration order, as soon as each configuration completes — to every
+// sink. It returns the summaries; sinks are closed before returning.
+func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
+	plan, err := c.Expand()
+	if err != nil {
+		for _, sk := range sinks {
+			sk.Close() // honor the close-before-return contract
+		}
+		return nil, err
+	}
+	results := make([]TrialResult, len(plan.Trials))
+
+	var (
+		mu        sync.Mutex
+		remaining = make([]int, len(plan.Configs))
+		nextCfg   int
+		summaries = make([]ConfigSummary, 0, len(plan.Configs))
+		sinkErr   error
+	)
+	for i := range remaining {
+		remaining[i] = plan.Seeds
+	}
+	// Emit (under mu) every configuration whose trials have all completed,
+	// strictly in configuration order so output is deterministic.
+	flush := func() {
+		for nextCfg < len(plan.Configs) && remaining[nextCfg] == 0 {
+			s := summarize(plan, nextCfg, results, c.Timings)
+			summaries = append(summaries, s)
+			for _, sk := range sinks {
+				if err := sk.Emit(s); err != nil && sinkErr == nil {
+					sinkErr = err
+				}
+			}
+			nextCfg++
+		}
+	}
+	ForEach(c.Workers, len(plan.Trials), func(i int) {
+		tr := plan.Trials[i]
+		results[i] = RunTrial(&plan.Configs[tr.Cfg], tr.Seed, plan.Max)
+		mu.Lock()
+		defer mu.Unlock()
+		remaining[tr.Cfg]--
+		flush()
+	})
+	for _, sk := range sinks {
+		if err := sk.Close(); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}
+	return summaries, sinkErr
+}

@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a pool of workers
+// goroutines (0 means GOMAXPROCS). Indices are handed out in ascending
+// order through an atomic counter, so work is balanced without any
+// per-trial channel traffic. fn must be safe for concurrent invocation on
+// distinct indices; determinism is the caller's job — write results by
+// index and derive per-index randomness from the index, never from
+// completion order.
+//
+// A panic in any fn is re-raised on the calling goroutine after the pool
+// drains, matching the behavior of an inline loop closely enough for tests.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+					// Stop handing out work: jump the counter past n.
+					next.Add(int64(n))
+				}
+			}()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,58 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 53
+		var hits [53]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	ForEach(4, -3, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", workers, r)
+				}
+			}()
+			ForEach(workers, 16, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: no panic", workers)
+		}()
+	}
+}
+
+// TestForEachParallelSum is the -race canary: concurrent workers folding
+// into an atomic accumulator.
+func TestForEachParallelSum(t *testing.T) {
+	var sum atomic.Int64
+	n := 1000
+	ForEach(8, n, func(i int) { sum.Add(int64(i)) })
+	want := int64(n*(n-1)) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}

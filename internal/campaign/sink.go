@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sink consumes per-configuration summaries as the campaign streams them
+// (in deterministic configuration order). Close flushes any buffered
+// output; a sink is single-use.
+type Sink interface {
+	Emit(s ConfigSummary) error
+	Close() error
+}
+
+// NewSink returns the sink named by format: "text", "csv" or "jsonl".
+func NewSink(format string, w io.Writer) (Sink, error) {
+	switch format {
+	case "text":
+		return &textSink{w: w}, nil
+	case "csv":
+		return &csvSink{w: w}, nil
+	case "jsonl":
+		return &jsonlSink{w: w}, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown sink format %q (known: text csv jsonl)", format)
+	}
+}
+
+// num renders a float compactly and deterministically.
+func num(f float64) string { return strconv.FormatFloat(f, 'g', 6, 64) }
+
+// row flattens a summary into column values; wall columns only if timed.
+func (s ConfigSummary) row() []string {
+	r := []string{
+		s.Topology, strconv.Itoa(s.N), strconv.Itoa(s.D), s.Task, s.Algo,
+		strconv.Itoa(s.Trials), strconv.Itoa(s.Failures),
+		num(s.Rounds.Mean), num(s.Rounds.Std), num(s.Rounds.P50),
+		num(s.Rounds.P90), num(s.Rounds.P99), num(s.Rounds.Max),
+		num(s.Tx.Mean),
+	}
+	if s.WallMS != nil {
+		r = append(r, num(s.WallMS.Mean), num(s.WallMS.P99))
+	}
+	return r
+}
+
+func (s ConfigSummary) columns() []string {
+	c := []string{
+		"topology", "n", "D", "task", "algo", "trials", "fail",
+		"rounds.mean", "rounds.std", "rounds.p50", "rounds.p90",
+		"rounds.p99", "rounds.max", "tx.mean",
+	}
+	if s.WallMS != nil {
+		c = append(c, "ms.mean", "ms.p99")
+	}
+	return c
+}
+
+// textSink buffers all rows and writes an aligned table on Close.
+type textSink struct {
+	w    io.Writer
+	cols []string
+	rows [][]string
+}
+
+func (t *textSink) Emit(s ConfigSummary) error {
+	if t.cols == nil {
+		t.cols = s.columns()
+	}
+	t.rows = append(t.rows, s.row())
+	return nil
+}
+
+func (t *textSink) Close() error {
+	if t.cols == nil {
+		return nil
+	}
+	widths := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range t.cols {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.cols {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, v := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(t.w, b.String())
+	return err
+}
+
+// csvSink writes a header before the first row, then streams.
+type csvSink struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (c *csvSink) Emit(s ConfigSummary) error {
+	if !c.wrote {
+		c.wrote = true
+		if _, err := io.WriteString(c.w, strings.Join(s.columns(), ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(c.w, strings.Join(s.row(), ",")+"\n")
+	return err
+}
+
+func (c *csvSink) Close() error { return nil }
+
+// jsonlSink streams one JSON object per configuration.
+type jsonlSink struct {
+	w io.Writer
+}
+
+func (j *jsonlSink) Emit(s ConfigSummary) error {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = j.w.Write(b)
+	return err
+}
+
+func (j *jsonlSink) Close() error { return nil }

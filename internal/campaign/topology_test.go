@@ -1,0 +1,59 @@
+package campaign
+
+import "testing"
+
+func TestParseTopologyFamilies(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"path:16", 16},
+		{"cycle:12", 12},
+		{"star:9", 9},
+		{"complete:6", 6},
+		{"hypercube:4", 16},
+		{"randtree:20", 20},
+		{"grid:3x5", 15},
+		{"cliquepath:4x3", 12},
+		{"caterpillar:5x2", 15},
+		{"tree:2x3", 15},
+		{"regular:10x3", 10},
+		{"geometric:40:0.4", 40},
+		{"gnp:30:0.2", 30},
+	}
+	for _, c := range cases {
+		topo, err := ParseTopology(c.spec)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		g := topo.Build(1)
+		if g.N() != c.n {
+			t.Errorf("%s: n = %d, want %d", c.spec, g.N(), c.n)
+		}
+		if !g.IsConnected() {
+			t.Errorf("%s: disconnected", c.spec)
+		}
+	}
+}
+
+func TestParseTopologyDeterministicRandomFamilies(t *testing.T) {
+	for _, spec := range []string{"geometric:50:0.35", "gnp:40:0.15", "randtree:25"} {
+		topo, err := ParseTopology(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := topo.Build(7), topo.Build(7)
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Errorf("%s: same seed built different graphs (%v vs %v)", spec, a, b)
+		}
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, spec := range []string{"", "warp:9", "grid:4", "grid:4x", "path:axe", "geometric:40", "path", "path:1:2"} {
+		if _, err := ParseTopology(spec); err == nil {
+			t.Errorf("%q: accepted", spec)
+		}
+	}
+}

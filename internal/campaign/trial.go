@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"radionet/internal/baseline"
+	"radionet/internal/compete"
+	"radionet/internal/decay"
+)
+
+// Broadcast and leader-election algorithm names accepted in AlgoSpec,
+// matching the radionet facade constants.
+var (
+	broadcastAlgos = map[string]bool{
+		"cd17": true, "hw16": true, "bgi": true, "truncated-decay": true,
+	}
+	leaderAlgos = map[string]bool{
+		"cd17": true, "binary-search": true, "max-broadcast": true,
+	}
+)
+
+func validateAlgo(a AlgoSpec) error {
+	switch a.Task {
+	case Broadcast:
+		if !broadcastAlgos[a.Algo] {
+			return fmt.Errorf("campaign: unknown broadcast algorithm %q (known: cd17 hw16 bgi truncated-decay)", a.Algo)
+		}
+	case Leader:
+		if !leaderAlgos[a.Algo] {
+			return fmt.Errorf("campaign: unknown leader algorithm %q (known: cd17 binary-search max-broadcast)", a.Algo)
+		}
+	default:
+		return fmt.Errorf("campaign: unknown task %q (known: broadcast leader)", a.Task)
+	}
+	return nil
+}
+
+// TrialResult reports one protocol run.
+type TrialResult struct {
+	// Rounds is the executed round count (budget-capped on failure).
+	Rounds int64
+	// Tx is the total transmission count where the algorithm exposes
+	// engine metrics (0 for the composite leader-election baselines,
+	// which run their broadcasts internally).
+	Tx int64
+	// Done reports completion within budget (and, for leader election,
+	// a verified postcondition where the algorithm supports it).
+	Done bool
+	// Err records a constructor failure; the trial counts as failed.
+	Err string
+	// Wall is the measured execution time. It is inherently
+	// non-deterministic and excluded from sink output unless requested.
+	Wall time.Duration
+}
+
+// decayBudget is the whp-sufficient Decay budget used when MaxRounds is 0,
+// mirroring the radionet facade: 20·(D+L)·L with L = ceil(log2 n) levels.
+func decayBudget(n, d int) int64 {
+	l := int64(decay.Levels(n))
+	return 20 * (int64(d) + l) * l
+}
+
+// RunTrial executes one trial of cfg with the given RNG stream seed.
+// maxRounds 0 selects a per-algorithm whp-sufficient budget.
+func RunTrial(cfg *Config, seed uint64, maxRounds int64) TrialResult {
+	start := time.Now()
+	res := runTrial(cfg, seed, maxRounds)
+	res.Wall = time.Since(start)
+	return res
+}
+
+func runTrial(cfg *Config, seed uint64, maxRounds int64) TrialResult {
+	fail := func(err error) TrialResult { return TrialResult{Err: err.Error()} }
+	g, d := cfg.G, cfg.D
+	switch cfg.Spec.Task {
+	case Broadcast:
+		switch cfg.Spec.Algo {
+		case "cd17", "hw16":
+			ccfg := compete.Config{CurtailLogLog: cfg.Spec.Algo == "hw16"}
+			b, err := compete.NewBroadcast(g, d, ccfg, seed, 0, 9)
+			if err != nil {
+				return fail(err)
+			}
+			budget := maxRounds
+			if budget <= 0 {
+				budget = 8 * b.Budget()
+			}
+			rounds, done := b.Run(budget)
+			return TrialResult{Rounds: rounds, Tx: b.Engine.Metrics.Transmissions, Done: done}
+		case "bgi", "truncated-decay":
+			var b *decay.Broadcast
+			if cfg.Spec.Algo == "bgi" {
+				b = decay.NewBroadcast(g, decay.Config{}, seed, map[int]int64{0: 9})
+			} else {
+				b = baseline.NewTruncatedDecay(g, d, seed, map[int]int64{0: 9})
+			}
+			budget := maxRounds
+			if budget <= 0 {
+				budget = decayBudget(g.N(), d)
+			}
+			rounds, done := b.Run(budget)
+			return TrialResult{Rounds: rounds, Tx: b.Engine.Metrics.Transmissions, Done: done}
+		}
+	case Leader:
+		switch cfg.Spec.Algo {
+		case "cd17":
+			le, err := compete.NewLeaderElection(g, d, compete.LeaderConfig{}, seed)
+			if err != nil {
+				return fail(err)
+			}
+			budget := maxRounds
+			if budget <= 0 {
+				budget = 8 * le.Budget()
+			}
+			rounds, done := le.Run(budget)
+			done = done && le.Verify() == nil
+			return TrialResult{Rounds: rounds, Tx: le.Engine.Metrics.Transmissions, Done: done}
+		case "binary-search":
+			// Binary search charges its per-iteration broadcast budget tbc
+			// for each of the 40 default ID bits, so a trial cap maps to
+			// tbc = maxRounds/40 (floored to 1: the constructor treats
+			// tbc <= 0 as "use the whp default", which would un-cap).
+			tbc := int64(0)
+			if maxRounds > 0 {
+				tbc = maxRounds / 40
+				if tbc < 1 {
+					tbc = 1
+				}
+			}
+			le, err := baseline.NewBinarySearchLE(g, d, seed, 0, 0, tbc)
+			if err != nil {
+				return fail(err)
+			}
+			r := le.Run()
+			return TrialResult{Rounds: r.Rounds, Done: r.Done}
+		case "max-broadcast":
+			le, err := baseline.NewMaxBroadcastLE(g, d, seed, 0, 0, maxRounds)
+			if err != nil {
+				return fail(err)
+			}
+			r := le.Run()
+			return TrialResult{Rounds: r.Rounds, Done: r.Done}
+		}
+	}
+	return fail(fmt.Errorf("campaign: unrunnable spec %s", cfg.Spec))
+}

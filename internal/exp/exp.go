@@ -15,6 +15,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"radionet/internal/campaign"
 )
 
 // Options control experiment scale and reproducibility.
@@ -27,6 +29,10 @@ type Options struct {
 	// Quick shrinks instance sizes for CI/benchmark runs; full scale is
 	// used by cmd/experiments for EXPERIMENTS.md.
 	Quick bool
+	// Workers sizes the worker pool for repetition loops
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical for every
+	// value: each repetition derives its randomness from its index.
+	Workers int
 }
 
 func (o Options) seeds(def int) int {
@@ -34,6 +40,24 @@ func (o Options) seeds(def int) int {
 		return o.Seeds
 	}
 	return def
+}
+
+// forEach fans the n independent repetitions of one configuration out
+// across the campaign executor. Bodies must write results by index so
+// tables are identical for every worker count.
+func (o Options) forEach(n int, fn func(i int)) {
+	campaign.ForEach(o.Workers, n, fn)
+}
+
+// all reports whether every flag is set; repetition loops record per-index
+// success and reduce after the fan-out.
+func all(bs []bool) bool {
+	for _, b := range bs {
+		if !b {
+			return false
+		}
+	}
+	return true
 }
 
 // Table is a rendered experiment artifact.

@@ -108,3 +108,33 @@ func TestExperimentsDeterministic(t *testing.T) {
 		t.Fatal("same options produced different tables")
 	}
 }
+
+// TestExperimentsDeterministicAcrossWorkers checks that routing the
+// repetition loops through the campaign executor did not make tables
+// depend on the worker count: serial and 8-worker runs must render
+// byte-identically for every experiment.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			render := func(workers int) string {
+				tbl, err := Run(id, Options{Seed: 5, Quick: true, Seeds: 3, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := tbl.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String()
+			}
+			serial, parallel := render(1), render(8)
+			if serial != parallel {
+				t.Errorf("table differs between 1 and 8 workers:\n-- 1 --\n%s\n-- 8 --\n%s", serial, parallel)
+			}
+		})
+	}
+}

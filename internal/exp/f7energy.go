@@ -34,7 +34,7 @@ func runF7(o Options) *Table {
 	for _, g := range gs {
 		d := g.DiameterEstimate()
 		for _, a := range algos {
-			rounds, tx, all := meanRoundsTx(a, g, d, o.Seed+9, seeds)
+			rounds, tx, all := meanRoundsTx(o, a, g, d, o.Seed+9, seeds)
 			perNodeRound := 0.0
 			if rounds > 0 {
 				perNodeRound = tx / (rounds * float64(g.N()))

@@ -58,26 +58,23 @@ func truncAlgo() broadcastAlgo {
 	}}
 }
 
-// meanRounds runs algo for the given seeds and returns the mean round
-// count and whether all runs completed.
-func meanRounds(a broadcastAlgo, g *graph.Graph, d int, baseSeed uint64, seeds int) (float64, bool) {
-	m, _, all := meanRoundsTx(a, g, d, baseSeed, seeds)
-	return m, all
+// meanRounds runs algo for the given seeds through the campaign executor
+// and returns the mean round count and whether all runs completed.
+func meanRounds(o Options, a broadcastAlgo, g *graph.Graph, d int, baseSeed uint64, seeds int) (float64, bool) {
+	m, _, ok := meanRoundsTx(o, a, g, d, baseSeed, seeds)
+	return m, ok
 }
 
 // meanRoundsTx additionally returns the mean transmission count.
-func meanRoundsTx(a broadcastAlgo, g *graph.Graph, d int, baseSeed uint64, seeds int) (float64, float64, bool) {
-	var rs, txs []float64
-	all := true
-	for s := 0; s < seeds; s++ {
+func meanRoundsTx(o Options, a broadcastAlgo, g *graph.Graph, d int, baseSeed uint64, seeds int) (float64, float64, bool) {
+	rs := make([]float64, seeds)
+	txs := make([]float64, seeds)
+	ok := make([]bool, seeds)
+	o.forEach(seeds, func(s int) {
 		r, tx, done := a.run(g, d, baseSeed+uint64(s))
-		if !done {
-			all = false
-		}
-		rs = append(rs, float64(r))
-		txs = append(txs, float64(tx))
-	}
-	return stats.Mean(rs), stats.Mean(txs), all
+		rs[s], txs[s], ok[s] = float64(r), float64(tx), done
+	})
+	return stats.Mean(rs), stats.Mean(txs), all(ok)
 }
 
 // gridFamily returns n≈const grids with varying diameter.
@@ -107,7 +104,7 @@ func runF1(o Options) *Table {
 	for _, g := range gridFamily(o.Quick) {
 		d := g.DiameterEstimate()
 		for _, a := range algos {
-			m, all := meanRounds(a, g, d, o.Seed+1, seeds)
+			m, all := meanRounds(o, a, g, d, o.Seed+1, seeds)
 			t.AddRow(g.Name(), g.N(), d, a.name, m, m/float64(d), all)
 		}
 	}
@@ -138,7 +135,7 @@ func runF2(o Options) *Table {
 		g := graph.Caterpillar(spine, legs)
 		d := g.Diameter()
 		for _, a := range algos {
-			m, all := meanRounds(a, g, d, o.Seed+2, seeds)
+			m, all := meanRounds(o, a, g, d, o.Seed+2, seeds)
 			t.AddRow(g.Name(), g.N(), d, a.name, m, all)
 		}
 	}
@@ -162,58 +159,45 @@ func runF3(o Options) *Table {
 	}
 	for _, g := range gs {
 		d := g.DiameterEstimate()
-		// Binary-search LE [2].
-		var bsr []float64
-		bsDone := true
-		for s := 0; s < seeds; s++ {
-			le, err := baseline.NewBinarySearchLE(g, d, o.Seed+3+uint64(s), 2, 40, 0)
-			if err != nil {
-				bsDone = false
-				break
+		bsr := make([]float64, seeds)
+		mbr := make([]float64, seeds)
+		ler := make([]float64, seeds)
+		bcr := make([]float64, seeds)
+		bsOK := make([]bool, seeds)
+		mbOK := make([]bool, seeds)
+		leOK := make([]bool, seeds)
+		bcOK := make([]bool, seeds)
+		o.forEach(seeds, func(s int) {
+			seed := o.Seed + 3 + uint64(s)
+			// Binary-search LE [2].
+			if le, err := baseline.NewBinarySearchLE(g, d, seed, 2, 40, 0); err == nil {
+				res := le.Run()
+				bsOK[s] = res.Done
+				bsr[s] = float64(res.Rounds)
 			}
-			res := le.Run()
-			bsDone = bsDone && res.Done
-			bsr = append(bsr, float64(res.Rounds))
-		}
-		t.AddRow(g.Name(), g.N(), d, "BinarySearch-LE", stats.Mean(bsr), bsDone)
-		// Max-broadcast LE (the [8]-style fast-prior stand-in).
-		var mbr []float64
-		mbDone := true
-		for s := 0; s < seeds; s++ {
-			le, err := baseline.NewMaxBroadcastLE(g, d, o.Seed+3+uint64(s), 2, 40, 0)
-			if err != nil {
-				mbDone = false
-				break
+			// Max-broadcast LE (the [8]-style fast-prior stand-in).
+			if le, err := baseline.NewMaxBroadcastLE(g, d, seed, 2, 40, 0); err == nil {
+				res := le.Run()
+				mbOK[s] = res.Done
+				mbr[s] = float64(res.Rounds)
 			}
-			res := le.Run()
-			mbDone = mbDone && res.Done
-			mbr = append(mbr, float64(res.Rounds))
-		}
-		t.AddRow(g.Name(), g.N(), d, "MaxBcast-LE[8]", stats.Mean(mbr), mbDone)
-		// CD17 LE and CD17 broadcast (parity claim).
-		var ler, bcr []float64
-		leDone, bcDone := true, true
-		for s := 0; s < seeds; s++ {
-			le, err := compete.NewLeaderElection(g, d, compete.LeaderConfig{}, o.Seed+3+uint64(s))
-			if err != nil {
-				leDone = false
-				break
+			// CD17 LE and CD17 broadcast (parity claim).
+			if le, err := compete.NewLeaderElection(g, d, compete.LeaderConfig{}, seed); err == nil {
+				r, done := le.Run(8 * le.Budget())
+				leOK[s] = done && le.Verify() == nil
+				ler[s] = float64(r)
 			}
-			r, done := le.Run(8 * le.Budget())
-			leDone = leDone && done && le.Verify() == nil
-			ler = append(ler, float64(r))
-			b, err := compete.NewBroadcast(g, d, compete.Config{}, o.Seed+3+uint64(s), 0, 9)
-			if err != nil {
-				bcDone = false
-				break
+			if b, err := compete.NewBroadcast(g, d, compete.Config{}, seed, 0, 9); err == nil {
+				rb, doneb := b.Run(8 * b.Budget())
+				bcOK[s] = doneb
+				bcr[s] = float64(rb)
 			}
-			rb, doneb := b.Run(8 * b.Budget())
-			bcDone = bcDone && doneb
-			bcr = append(bcr, float64(rb))
-		}
-		t.AddRow(g.Name(), g.N(), d, "CD17-LE", stats.Mean(ler), leDone)
-		t.AddRow(g.Name(), g.N(), d, "CD17-broadcast", stats.Mean(bcr), bcDone)
-		if len(ler) > 0 && len(bcr) > 0 && stats.Mean(bcr) > 0 {
+		})
+		t.AddRow(g.Name(), g.N(), d, "BinarySearch-LE", stats.Mean(bsr), all(bsOK))
+		t.AddRow(g.Name(), g.N(), d, "MaxBcast-LE[8]", stats.Mean(mbr), all(mbOK))
+		t.AddRow(g.Name(), g.N(), d, "CD17-LE", stats.Mean(ler), all(leOK))
+		t.AddRow(g.Name(), g.N(), d, "CD17-broadcast", stats.Mean(bcr), all(bcOK))
+		if stats.Mean(bcr) > 0 {
 			t.Note("%s: LE/broadcast ratio = %.2f (paper: O(1), the parity claim)", g.Name(), stats.Mean(ler)/stats.Mean(bcr))
 		}
 	}
@@ -240,24 +224,23 @@ func runF4(o Options) *Table {
 	sizes := []int{1, 2, 4, 8, 16, 32}
 	var xs, ys []float64
 	for _, k := range sizes {
-		var rs []float64
-		all := true
-		for s := 0; s < seeds; s++ {
+		rs := make([]float64, seeds)
+		ok := make([]bool, seeds)
+		o.forEach(seeds, func(s int) {
 			sources := make(map[int]int64, k)
 			for i := 0; i < k; i++ {
 				sources[(i*g.N())/k] = int64(100 + i)
 			}
 			c, err := compete.New(g, d, compete.Config{}, o.Seed+5+uint64(s), sources)
 			if err != nil {
-				all = false
-				break
+				return
 			}
 			r, done := c.Run(8 * c.Budget())
-			all = all && done
-			rs = append(rs, float64(r))
-		}
+			ok[s] = done
+			rs[s] = float64(r)
+		})
 		m := stats.Mean(rs)
-		t.AddRow(g.Name(), k, m, all)
+		t.AddRow(g.Name(), k, m, all(ok))
 		xs = append(xs, float64(k))
 		ys = append(ys, m)
 	}
@@ -289,7 +272,7 @@ func runF5(o Options) *Table {
 		g := graph.Path(n)
 		d := n - 1
 		for _, a := range algos {
-			m, all := meanRounds(a, g, d, o.Seed+6, seeds)
+			m, all := meanRounds(o, a, g, d, o.Seed+6, seeds)
 			t.AddRow(n, d, a.name, m, m/float64(d))
 			if all {
 				perHop[a.name] = append(perHop[a.name], m/float64(d))
@@ -348,7 +331,7 @@ func runF6(o Options) *Table {
 	for i, v := range variants {
 		a := cd17Algo(v.cfg)
 		a.name = v.name
-		m, all := meanRounds(a, g, d, o.Seed+7, seeds)
+		m, all := meanRounds(o, a, g, d, o.Seed+7, seeds)
 		if i == 0 {
 			base = m
 		}

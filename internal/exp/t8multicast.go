@@ -40,27 +40,26 @@ func runT8(o Options) *Table {
 	}
 	var xs, ys []float64
 	for _, k := range ks {
-		var pr, sr []float64
-		all := true
-		for s := 0; s < seeds; s++ {
+		pr := make([]float64, seeds)
+		sr := make([]float64, seeds)
+		ok := make([]bool, seeds)
+		o.forEach(seeds, func(s int) {
 			p, err := multicast.NewPipelined(g, o.Seed+8+uint64(s), 0, msgs(k))
 			if err != nil {
-				all = false
-				break
+				return
 			}
 			r, done := p.Run(1 << 26)
-			all = all && done
-			pr = append(pr, float64(r))
+			pr[s] = float64(r)
 			r2, done2 := multicast.Sequential(g, o.Seed+8+uint64(s), 0, msgs(k), 0)
-			all = all && done2
-			sr = append(sr, float64(r2))
-		}
+			sr[s] = float64(r2)
+			ok[s] = done && done2
+		})
 		pm, sm := stats.Mean(pr), stats.Mean(sr)
 		speedup := 0.0
 		if pm > 0 {
 			speedup = sm / pm
 		}
-		t.AddRow(g.Name(), k, pm, sm, speedup, all)
+		t.AddRow(g.Name(), k, pm, sm, speedup, all(ok))
 		xs = append(xs, float64(k))
 		ys = append(ys, pm)
 	}

@@ -37,8 +37,8 @@ func runT1(o Options) *Table {
 	master := rng.New(o.Seed)
 	for _, k := range []int{1, 2, 4, 8, 32, 128, 512} {
 		l := decay.Levels(k + 1)
-		hit := 0
-		for trial := 0; trial < trials; trial++ {
+		hits := make([]bool, trials)
+		o.forEach(trials, func(trial int) {
 			r := master.Fork(uint64(k)<<20 | uint64(trial))
 			for s := 0; s < l; s++ {
 				tx := 0
@@ -48,9 +48,15 @@ func runT1(o Options) *Table {
 					}
 				}
 				if tx == 1 {
-					hit++
-					break
+					hits[trial] = true
+					return
 				}
+			}
+		})
+		hit := 0
+		for _, h := range hits {
+			if h {
+				hit++
 			}
 		}
 		t.AddRow(k, l, float64(hit)/float64(trials), 1/(2*math.E))
@@ -89,11 +95,11 @@ func runT2(o Options) *Table {
 	for _, g := range clusterGraphs(o, master) {
 		lnN := math.Log(float64(g.N()))
 		for _, beta := range []float64{0.05, 0.1, 0.2, 0.4} {
-			var radii []float64
-			for s := 0; s < seeds; s++ {
+			radii := make([]float64, seeds)
+			o.forEach(seeds, func(s int) {
 				p := cluster.Partition(g, beta, master.Fork(uint64(s)+100*uint64(beta*1000)))
-				radii = append(radii, float64(p.MaxStrongRadius()))
-			}
+				radii[s] = float64(p.MaxStrongRadius())
+			})
 			sum := stats.Summarize(radii)
 			bound := lnN / beta
 			t.AddRow(g.Name(), beta, sum.Mean, sum.Max, bound, sum.Max/bound)
@@ -115,11 +121,11 @@ func runT3(o Options) *Table {
 	seeds := o.seeds(10)
 	for _, g := range clusterGraphs(o, master) {
 		for _, beta := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
-			var fr []float64
-			for s := 0; s < seeds; s++ {
+			fr := make([]float64, seeds)
+			o.forEach(seeds, func(s int) {
 				p := cluster.Partition(g, beta, master.Fork(uint64(s)+100*uint64(beta*1000)))
-				fr = append(fr, p.CutFraction())
-			}
+				fr[s] = p.CutFraction()
+			})
 			m := stats.Mean(fr)
 			t.AddRow(g.Name(), beta, m, m/beta)
 		}
@@ -158,11 +164,11 @@ func runT4(o Options) *Table {
 		good := 0
 		for j := jmin; j <= jmax; j++ {
 			beta := math.Pow(2, -float64(j))
-			var ds []float64
-			for s := 0; s < trials; s++ {
+			ds := make([]float64, trials)
+			o.forEach(trials, func(s int) {
 				p := cluster.Partition(g, beta, master.Fork(uint64(j)<<16|uint64(s)))
-				ds = append(ds, float64(p.Dist[v]))
-			}
+				ds[s] = float64(p.Dist[v])
+			})
 			mean := stats.Mean(ds)
 			bound := c * logn / (beta * logD)
 			hw := bound * math.Log2(logn)
@@ -201,15 +207,18 @@ func runT5(o Options) *Table {
 		for _, d := range []int{1, 2, 4} {
 			bound1 := 1 - math.Exp(-beta*float64(2*d+1))
 			for _, tt := range []int{2, 3} {
-				hits, total := 0, 0
-				for s := 0; s < trials; s++ {
+				perTrial := make([]int, trials)
+				o.forEach(trials, func(s int) {
 					p := cluster.Partition(g, beta, master.Fork(uint64(s)|uint64(d)<<20|uint64(tt)<<28|uint64(beta*1e4)<<36))
 					for _, v := range nodes {
-						total++
 						if p.ClustersWithin(v, d) >= tt {
-							hits++
+							perTrial[s]++
 						}
 					}
+				})
+				hits, total := 0, trials*len(nodes)
+				for _, h := range perTrial {
+					hits += h
 				}
 				t.AddRow(g.Name(), beta, d, tt, float64(hits)/float64(total), math.Pow(bound1, float64(tt-1)))
 			}
@@ -248,8 +257,8 @@ func runT6(o Options) *Table {
 		coarseBeta := math.Pow(float64(d), -0.5)
 		path := g.ShortestPath(0, g.N()-1)
 		nsub := (len(path) + subLen - 1) / subLen
-		var counts []float64
-		for s := 0; s < seeds; s++ {
+		counts := make([]float64, seeds)
+		o.forEach(seeds, func(s int) {
 			p := cluster.Partition(g, coarseBeta, master.Fork(uint64(k)<<20|uint64(s)))
 			bad := 0
 			for i := 0; i < len(path); i += subLen {
@@ -261,8 +270,8 @@ func runT6(o Options) *Table {
 					bad++
 				}
 			}
-			counts = append(counts, float64(bad))
-		}
+			counts[s] = float64(bad)
+		})
 		sum := stats.Summarize(counts)
 		t.AddRow(d, g.N(), subLen, neigh, nsub, sum.Mean, sum.Max)
 		if sum.Mean > 0 {
@@ -319,22 +328,17 @@ func runT7(o Options) *Table {
 	for _, g := range gs {
 		logn := math.Log2(float64(g.N()))
 		for _, beta := range []float64{0.15, 0.3} {
-			var rounds []float64
-			valid := true
-			for s := 0; s < seeds; s++ {
+			rounds := make([]float64, seeds)
+			ok := make([]bool, seeds)
+			o.forEach(seeds, func(s int) {
 				dp := cluster.NewDistributed(g, cluster.DistConfig{Beta: beta}, o.Seed+uint64(s))
 				r, done := dp.Run()
-				if !done {
-					valid = false
-				}
-				if err := dp.Result().Validate(); err != nil {
-					valid = false
-				}
-				rounds = append(rounds, float64(r))
-			}
+				ok[s] = done && dp.Result().Validate() == nil
+				rounds[s] = float64(r)
+			})
 			bound := logn * logn * logn / beta
 			m := stats.Mean(rounds)
-			t.AddRow(g.Name(), beta, m, bound, m/bound, valid)
+			t.AddRow(g.Name(), beta, m, bound, m/bound, all(ok))
 		}
 	}
 	t.Note("ratio should stay O(1) across graphs and beta; valid = partition invariants hold")

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestRunningMatchesBatch(t *testing.T) {
+	xs := []float64{4, 1, 7, 7, 2, 9, 3, 5, 8, 6}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", r.N(), len(xs))
+	}
+	if !almostEq(r.Mean(), Mean(xs)) {
+		t.Errorf("Mean = %v, want %v", r.Mean(), Mean(xs))
+	}
+	if !almostEq(r.Std(), Std(xs)) {
+		t.Errorf("Std = %v, want %v", r.Std(), Std(xs))
+	}
+	if r.Min() != 1 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 1/9", r.Min(), r.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if !almostEq(r.Quantile(q), Quantile(xs, q)) {
+			t.Errorf("Quantile(%v) = %v, want %v", q, r.Quantile(q), Quantile(xs, q))
+		}
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7}
+	for _, split := range []int{0, 1, 7, len(xs)} {
+		var a, b Running
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		want := Summarize(xs)
+		got := a.Summary()
+		if got.N != want.N || !almostEq(got.Mean, want.Mean) || !almostEq(got.Std, want.Std) ||
+			!almostEq(got.P50, want.P50) || !almostEq(got.P90, want.P90) ||
+			!almostEq(got.P99, want.P99) || !almostEq(got.Max, want.Max) {
+			t.Errorf("split %d: merged summary %+v, want %+v", split, got, want)
+		}
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Std() != 0 || r.Min() != 0 || r.Max() != 0 || r.Quantile(0.5) != 0 {
+		t.Fatalf("empty Running not all-zero: %+v", r.Summary())
+	}
+	if r.Summary() != (Summary{}) {
+		t.Fatalf("empty Summary = %+v", r.Summary())
+	}
+	var o Running
+	o.Add(2)
+	r.Merge(&o)
+	if r.N() != 1 || r.Mean() != 2 || r.Min() != 2 || r.Max() != 2 {
+		t.Fatalf("merge into empty: %+v", r.Summary())
+	}
+}
+
+func TestSummarizeP99(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if !almostEq(s.P99, 98.01) {
+		t.Fatalf("P99 = %v, want 98.01", s.P99)
+	}
+}

@@ -74,9 +74,9 @@ func Max(xs []float64) float64 {
 
 // Summary is a compact distribution description.
 type Summary struct {
-	N             int
-	Mean, Std     float64
-	P50, P90, Max float64
+	N                  int
+	Mean, Std          float64
+	P50, P90, P99, Max float64
 }
 
 // Summarize computes a Summary of xs.
@@ -90,14 +90,15 @@ func Summarize(xs []float64) Summary {
 		Std:  Std(xs),
 		P50:  Quantile(xs, 0.5),
 		P90:  Quantile(xs, 0.9),
+		P99:  Quantile(xs, 0.99),
 		Max:  Max(xs),
 	}
 }
 
 // String implements fmt.Stringer.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.2f std=%.2f p50=%.2f p90=%.2f max=%.2f",
-		s.N, s.Mean, s.Std, s.P50, s.P90, s.Max)
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+		s.N, s.Mean, s.Std, s.P50, s.P90, s.P99, s.Max)
 }
 
 // PowerFit is the least-squares fit y ≈ Coeff · x^Exp on log–log scale,

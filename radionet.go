@@ -28,7 +28,9 @@
 //	// res.Rounds is the number of radio rounds until every node knew 42.
 //
 // The experiment harness behind DESIGN.md §5 and EXPERIMENTS.md is in
-// cmd/experiments; runnable scenarios are under examples/.
+// cmd/experiments; cmd/campaign runs declarative topology × algorithm ×
+// seed matrices on the internal/campaign worker pool; runnable scenarios
+// are under examples/.
 package radionet
 
 import (
