@@ -1,6 +1,6 @@
 package radionet
 
-// One benchmark per evaluation artifact (DESIGN.md §5): each Benchmark<ID>
+// One benchmark per evaluation artifact (DESIGN.md §6): each Benchmark<ID>
 // regenerates the corresponding claim table at quick scale; run
 // cmd/experiments for the full-scale version recorded in EXPERIMENTS.md.
 // Micro-benchmarks for the substrates follow.

@@ -13,6 +13,7 @@
 //	campaign -task leader -algos cd17,max-broadcast -topos grid:8x32 -seeds 10
 //	campaign -algos broadcast:cd17,leader:cd17 -topos path:256 -seeds 5 -format jsonl
 //	campaign -config matrix.json -workers 4 -format csv
+//	campaign -preset large-n-broadcast -seeds 5
 package main
 
 import (
@@ -43,10 +44,21 @@ func run() error {
 		format  = flag.String("format", "text", "output format: text|csv|jsonl")
 		timings = flag.Bool("timings", false, "include wall-time aggregates (non-deterministic)")
 		config  = flag.String("config", "", "JSON matrix file (flags override its seeds/master_seed/max_rounds when set)")
+		preset  = flag.String("preset", "", "built-in matrix preset: "+strings.Join(campaign.PresetNames(), "|")+" (flags override as with -config)")
 	)
 	flag.Parse()
 
+	if *preset != "" && *config != "" {
+		return fmt.Errorf("-preset and -config are mutually exclusive")
+	}
 	m := campaign.Matrix{Seeds: *seeds, MasterSeed: *seed, MaxRounds: *maxR}
+	if *preset != "" {
+		loaded, err := campaign.Preset(*preset)
+		if err != nil {
+			return err
+		}
+		m = loaded
+	}
 	if *config != "" {
 		f, err := os.Open(*config)
 		if err != nil {
@@ -58,7 +70,10 @@ func run() error {
 			return err
 		}
 		m = loaded
-		// Flags given explicitly on the command line win over the file.
+	}
+	if *preset != "" || *config != "" {
+		// Flags given explicitly on the command line win over the
+		// preset's or the file's values.
 		flag.Visit(func(fl *flag.Flag) {
 			switch fl.Name {
 			case "seeds":

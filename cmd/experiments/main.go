@@ -1,5 +1,5 @@
 // Command experiments regenerates the evaluation artifacts of the
-// reproduction (DESIGN.md §5): one table per theorem/lemma/comparison
+// reproduction (DESIGN.md §6): one table per theorem/lemma/comparison
 // claim of the paper, printed as aligned text or CSV.
 //
 // Examples:

@@ -49,6 +49,7 @@ type distNode struct {
 	wakePhase int64
 	echo      int64
 	rnd       *rng.Rand
+	prog      *radio.Progress // assigned-node counter (shared)
 
 	center      int32
 	dist        int32
@@ -57,6 +58,11 @@ type distNode struct {
 }
 
 func (d *distNode) assigned() bool { return d.center >= 0 }
+
+// IgnoresSilence implements radio.SilenceOblivious: Recv without a
+// message is always a no-op. (distNode is not a radio.Sleeper: unassigned
+// nodes wake on a time trigger, not a reception.)
+func (d *distNode) IgnoresSilence() bool { return true }
 
 func (d *distNode) Act(t int64) radio.Action {
 	phase := t / d.phaseLen
@@ -67,6 +73,7 @@ func (d *distNode) Act(t int64) radio.Action {
 		d.dist = 0
 		d.parent = -1
 		d.joinedPhase = phase
+		d.prog.Add(1)
 	}
 	if !d.assigned() {
 		return radio.Listen
@@ -94,6 +101,7 @@ func (d *distNode) Recv(t int64, msg *radio.Message, _ bool) {
 	d.dist = int32(msg.B) + 1
 	d.parent = msg.Src
 	d.joinedPhase = phase
+	d.prog.Add(1) // guarded by !assigned above: counted exactly once
 }
 
 // Distributed is a running distributed Partition(β) instance.
@@ -109,6 +117,7 @@ type Distributed struct {
 	beta  float64
 	nodes []*distNode
 	delta []float64
+	prog  radio.Progress // assigned-node counter shared with the nodes
 }
 
 // NewDistributed builds the distributed Partition(β) protocol on g. Shifts
@@ -124,41 +133,48 @@ func NewDistributed(g *graph.Graph, cfg DistConfig, seed uint64) *Distributed {
 	phaseLen := int64(cfg.repeat(n) * levels)
 	cap64 := int64(math.Ceil(2*math.Log(float64(n)+2)/cfg.Beta)) + 1
 	master := rng.New(seed)
-	nodes := make([]*distNode, n)
+	dist := &Distributed{
+		MaxPhases: cap64 + 2,
+		PhaseLen:  phaseLen,
+		g:         g,
+		beta:      cfg.Beta,
+		nodes:     make([]*distNode, n),
+		delta:     make([]float64, n),
+	}
+	dist.prog = *radio.NewProgress(int64(n))
 	rn := make([]radio.Node, n)
-	delta := make([]float64, n)
 	for v := 0; v < n; v++ {
 		r := master.Fork(uint64(v))
 		dv := int64(math.Floor(r.Exp(cfg.Beta)))
 		if dv > cap64 {
 			dv = cap64
 		}
-		delta[v] = float64(dv)
-		nodes[v] = &distNode{
+		dist.delta[v] = float64(dv)
+		dist.nodes[v] = &distNode{
 			id:        int32(v),
 			levels:    levels,
 			phaseLen:  phaseLen,
 			wakePhase: cap64 - dv,
 			echo:      int64(cfg.echo()),
 			rnd:       r.Fork(1),
+			prog:      &dist.prog,
 			center:    -1,
 			parent:    -1,
 		}
-		rn[v] = nodes[v]
+		rn[v] = dist.nodes[v]
 	}
-	return &Distributed{
-		Engine:    radio.NewEngine(g, rn),
-		MaxPhases: cap64 + 2,
-		PhaseLen:  phaseLen,
-		g:         g,
-		beta:      cfg.Beta,
-		nodes:     nodes,
-		delta:     delta,
-	}
+	dist.Engine = radio.NewEngine(g, rn)
+	return dist
 }
 
-// Done reports whether every node has been assigned to a cluster.
-func (d *Distributed) Done() bool {
+// Done reports whether every node has been assigned to a cluster. O(1):
+// nodes report their assignment (wave adoption or self-candidacy) to the
+// shared radio.Progress as it happens.
+func (d *Distributed) Done() bool { return d.prog.Done() }
+
+// doneFullScan is the O(n) reference implementation of Done, kept for the
+// equivalence tests.
+func (d *Distributed) doneFullScan() bool {
 	for _, nd := range d.nodes {
 		if !nd.assigned() {
 			return false
@@ -171,7 +187,7 @@ func (d *Distributed) Done() bool {
 // the number of rounds used and whether all nodes were assigned.
 func (d *Distributed) Run() (int64, bool) {
 	budget := d.MaxPhases * d.PhaseLen
-	return d.Engine.Run(budget, d.Done)
+	return d.Engine.RunUntil(budget, &d.prog)
 }
 
 // Result converts the protocol outcome into a Result. Call after Run.

@@ -198,6 +198,11 @@ type Compete struct {
 	coinBg   uint64
 	trueMax  int64
 	nsrc     int
+	// prog counts nodes whose globalMax has reached trueMax (the
+	// radio.Progress incremental-termination convention): globalMax only
+	// grows and never exceeds trueMax, so cnode.Recv can count the
+	// threshold crossing exactly once per node and Done is O(1).
+	prog radio.Progress
 }
 
 const (
@@ -334,6 +339,12 @@ func New(g *graph.Graph, d int, cfg Config, seed uint64, sources map[int]int64) 
 			c.trueMax = v
 		}
 	}
+	c.prog = *radio.NewProgress(int64(n))
+	for _, v := range sources {
+		if v == c.trueMax {
+			c.prog.Add(1)
+		}
+	}
 	c.Engine = radio.NewEngine(g, rn)
 	return c, nil
 }
@@ -398,8 +409,13 @@ func (c *Compete) precomputeCharge() int64 {
 // TrueMax returns the highest source message.
 func (c *Compete) TrueMax() int64 { return c.trueMax }
 
-// Done reports whether every node knows the highest source message.
-func (c *Compete) Done() bool {
+// Done reports whether every node knows the highest source message. O(1):
+// the crossing into globalMax == trueMax is counted incrementally in Recv.
+func (c *Compete) Done() bool { return c.prog.Done() }
+
+// doneFullScan is the O(n) reference implementation of Done, kept for the
+// equivalence tests.
+func (c *Compete) doneFullScan() bool {
 	for _, nd := range c.nodes {
 		if nd.globalMax != c.trueMax {
 			return false
@@ -409,15 +425,7 @@ func (c *Compete) Done() bool {
 }
 
 // InformedCount returns how many nodes currently know the highest message.
-func (c *Compete) InformedCount() int {
-	count := 0
-	for _, nd := range c.nodes {
-		if nd.globalMax == c.trueMax {
-			count++
-		}
-	}
-	return count
-}
+func (c *Compete) InformedCount() int { return int(c.prog.Count()) }
 
 // Values returns each node's currently known best message (Uninformed for
 // nodes that know nothing).
@@ -463,7 +471,7 @@ func (c *Compete) Run(maxRounds int64) (int64, bool) {
 	if maxRounds <= 0 {
 		maxRounds = c.Budget()
 	}
-	return c.Engine.Run(maxRounds, c.Done)
+	return c.Engine.RunUntil(maxRounds, &c.prog)
 }
 
 // cnode is the per-node protocol state machine: a 4-lane TDM of the main
@@ -476,6 +484,11 @@ type cnode struct {
 	main      icpState
 	bg        icpState
 }
+
+// IgnoresSilence implements radio.SilenceOblivious: Recv without a
+// message is always a no-op (cnode is never dormant, though — centers
+// transmit spontaneously).
+func (nd *cnode) IgnoresSilence() bool { return true }
 
 // Act implements radio.Node.
 func (nd *cnode) Act(t int64) radio.Action {
@@ -509,6 +522,9 @@ func (nd *cnode) Recv(t int64, msg *radio.Message, _ bool) {
 	}
 	if msg.A > nd.globalMax {
 		nd.globalMax = msg.A
+		if msg.A == nd.c.trueMax {
+			nd.c.prog.Add(1)
+		}
 	}
 	lane := t % numLanes
 	var st *icpState
@@ -604,8 +620,8 @@ func (nd *cnode) actHelper(st *icpState, fines []fine, coinSeed uint64, lt int64
 	l4 := int64(nd.c.l4)
 	window := lt / l4
 	step := int(lt % l4)
-	i := uint(window%l4) + 1
-	p := 1 / float64(int64(1)<<i)
+	i := int(window%l4) + 1
+	p := decay.Prob(i - 1) // 2^-i, shift-clamped for large phase lengths
 	center := f.part.Center[nd.id]
 	if rng.HashFloat(coinSeed, uint64(st.fid), uint64(center), uint64(window)) >= p {
 		return radio.Listen // cluster sat this Decay phase out

@@ -1,0 +1,101 @@
+package decay
+
+import (
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/radio"
+	"radionet/internal/rng"
+)
+
+// The incremental-termination benchmarks: Decay broadcast at n = 10^5 on
+// sparse topologies, comparing the hot path (O(1) Done via radio.Progress
+// + engine Sleeper/SilenceOblivious/BulkActor fast paths) against the
+// seed-style configuration (per-round O(n) full-scan stop predicate on
+// the per-node engine path). Round counts are identical by construction;
+// only wall time differs. See DESIGN.md §5 for recorded numbers — the
+// fast path is the ≥3x win this layer exists for.
+
+// opaqueNode hides the Sleeper/SilenceOblivious extensions (and, via
+// Config.Wrap, disables the BulkActor install), reproducing the seed
+// engine configuration: dense per-node Act and Recv loops every round.
+type opaqueNode struct{ inner radio.Node }
+
+func (o *opaqueNode) Act(t int64) radio.Action { return o.inner.Act(t) }
+func (o *opaqueNode) Recv(t int64, m *radio.Message, c bool) {
+	o.inner.Recv(t, m, c)
+}
+
+func benchBroadcast100k(b *testing.B, g *graph.Graph, fullScan bool) {
+	b.Helper()
+	var rounds int64
+	for i := 0; i < b.N; i++ {
+		var cfg Config
+		if fullScan {
+			cfg.Wrap = func(_ int, n radio.Node) radio.Node { return &opaqueNode{inner: n} }
+		}
+		b.StopTimer()
+		bc := NewBroadcast(g, cfg, 1, map[int]int64{0: 5})
+		b.StartTimer()
+		var done bool
+		if fullScan {
+			// The seed termination check: O(n) full scan after every round.
+			rounds, done = bc.Engine.Run(1<<22, bc.doneFullScan)
+		} else {
+			rounds, done = bc.Run(1 << 22)
+		}
+		if !done {
+			b.Fatal("broadcast incomplete")
+		}
+	}
+	b.ReportMetric(float64(rounds), "radio-rounds")
+}
+
+func BenchmarkBroadcast100kRandTree(b *testing.B) {
+	g := graph.RandomTree(100_000, rng.New(7))
+	b.ResetTimer()
+	benchBroadcast100k(b, g, false)
+}
+
+func BenchmarkBroadcast100kRandTreeFullScan(b *testing.B) {
+	g := graph.RandomTree(100_000, rng.New(7))
+	b.ResetTimer()
+	benchBroadcast100k(b, g, true)
+}
+
+func BenchmarkBroadcast100kGnp(b *testing.B) {
+	g := graph.Gnp(100_000, 0.00005, rng.New(9))
+	b.ResetTimer()
+	benchBroadcast100k(b, g, false)
+}
+
+func BenchmarkBroadcast100kGnpFullScan(b *testing.B) {
+	g := graph.Gnp(100_000, 0.00005, rng.New(9))
+	b.ResetTimer()
+	benchBroadcast100k(b, g, true)
+}
+
+// Termination checking in isolation: one Done evaluation at n = 10^5.
+// The incremental check is a counter compare; the full scan walks every
+// node. This is the per-round cost the tentpole removed.
+func BenchmarkDone100kIncremental(b *testing.B) {
+	g := graph.RandomTree(100_000, rng.New(7))
+	bc := NewBroadcast(g, Config{}, 1, map[int]int64{0: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bc.Done() {
+			b.Fatal("unexpectedly done")
+		}
+	}
+}
+
+func BenchmarkDone100kFullScan(b *testing.B) {
+	g := graph.RandomTree(100_000, rng.New(7))
+	bc := NewBroadcast(g, Config{}, 1, map[int]int64{0: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bc.doneFullScan() {
+			b.Fatal("unexpectedly done")
+		}
+	}
+}

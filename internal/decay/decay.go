@@ -12,6 +12,8 @@
 package decay
 
 import (
+	"fmt"
+	"math"
 	"math/bits"
 
 	"radionet/internal/graph"
@@ -32,8 +34,18 @@ func Levels(n int) int {
 }
 
 // Prob returns the transmission probability at 0-based step s of a phase:
-// 2^-(s+1).
-func Prob(s int) float64 { return 1 / float64(int64(1)<<uint(s+1)) }
+// 2^-(s+1). Large steps (possible when a caller sets Config.Levels beyond
+// the float64 exponent range) degrade gracefully toward 0 instead of
+// overflowing the shift.
+func Prob(s int) float64 {
+	if s >= 62 {
+		// int64(1)<<uint(s+1) wraps at 63 and overflows at 64; Ldexp
+		// computes the same exact power of two (subnormal below 2^-1022,
+		// then 0), so the probability stays finite and monotone.
+		return math.Ldexp(1, -(s + 1))
+	}
+	return 1 / float64(int64(1)<<uint(s+1))
+}
 
 // Config parameterizes the Decay broadcast protocols.
 type Config struct {
@@ -55,43 +67,93 @@ func (c Config) levels(n int) int {
 	return Levels(n)
 }
 
+// tracker is the broadcast-wide incremental completion state shared by all
+// nodes of one instance (see the radio.Progress convention): prog counts
+// nodes whose value has reached the highest source value, informed counts
+// nodes that know any value. Both are updated at the state transitions in
+// Recv, so Done is O(1) instead of an O(n) scan per round. The per-node
+// informed flags live here as one compact slice so the bulk Act pass
+// streams ~n bytes, not the full node structs, while most nodes are
+// uninformed.
+type tracker struct {
+	prog       radio.Progress
+	informed   int
+	trueMax    int64     // highest source value; propagation never exceeds it
+	levels     int       // phase length, shared by every node
+	probs      []float64 // probs[s] = Prob(s), precomputed per phase step
+	thr        []uint64  // thr[s]: rnd.Uint64()>>11 < thr[s] <=> Bernoulli(probs[s])
+	isInformed []bool    // per-node informed flag, indexed by node id
+}
+
 // node is the per-node state of the Decay broadcast protocol. Uninformed
 // nodes are silent (the classical protocol does not use spontaneous
 // transmissions).
 type node struct {
-	levels     int
-	rnd        *rng.Rand
-	informed   bool
+	rnd        rng.Rand // embedded: nodes live in one contiguous slice
+	tr         *tracker
+	idx        int32
+	joinMid    bool
 	val        int64
 	informedAt int64 // phase-aligned participation gate
-	joinMid    bool
+	phaseStart int64 // start round of the phase containing the last Act
 }
 
+func (b *node) informed() bool { return b.tr.isInformed[b.idx] }
+
+// Dormant implements radio.Sleeper: an uninformed node always listens,
+// ignores silence, and consumes no randomness, so the engine may skip it.
+func (b *node) Dormant() bool { return !b.informed() }
+
+// IgnoresSilence implements radio.SilenceOblivious: Recv without a message
+// is always a no-op.
+func (b *node) IgnoresSilence() bool { return true }
+
 func (b *node) Act(t int64) radio.Action {
-	if !b.informed {
+	if !b.informed() {
 		return radio.Listen
 	}
 	if !b.joinMid && t < b.informedAt {
 		return radio.Listen
 	}
-	step := int(t % int64(b.levels))
-	if b.rnd.Bernoulli(Prob(step)) {
+	// step = t mod levels, tracked via the phase start to keep an integer
+	// division off the hot path. The loop self-resyncs after Act gaps
+	// (fault wrappers may swallow rounds) and normally runs 0 or 1 times.
+	L := int64(b.tr.levels)
+	for t-b.phaseStart >= L {
+		b.phaseStart += L
+	}
+	step := int(t - b.phaseStart)
+	if b.rnd.Bernoulli(b.tr.probs[step]) {
 		return radio.Transmit(radio.Message{Kind: KindBroadcast, A: b.val})
 	}
 	return radio.Listen
 }
 
 func (b *node) Recv(t int64, msg *radio.Message, _ bool) {
-	if msg == nil || msg.Kind != KindBroadcast {
+	// val starts at the -1 sentinel, so for the non-negative message
+	// values the protocol carries, "uninformed or strictly better" is the
+	// single compare msg.A > b.val — the by-far common case (a re-delivery
+	// to a saturated node) returns here.
+	if msg == nil || msg.Kind != KindBroadcast || msg.A <= b.val {
 		return
 	}
-	if !b.informed || msg.A > b.val {
-		if !b.informed {
-			// Align participation to the next phase boundary.
-			b.informedAt = ((t / int64(b.levels)) + 1) * int64(b.levels)
+	if !b.informed() {
+		// Align participation to the next phase boundary.
+		L := int64(b.tr.levels)
+		b.informedAt = ((t / L) + 1) * L
+		b.phaseStart = b.informedAt
+		if b.joinMid {
+			// Participation starts next round, mid-phase.
+			b.phaseStart = (t + 1) - (t+1)%L
 		}
-		b.informed = true
-		b.val = msg.A
+		b.tr.isInformed[b.idx] = true
+		b.tr.informed++
+	}
+	b.val = msg.A
+	// Circulating values are source values, so the threshold is crossed
+	// at most once per node: val only grows and never exceeds trueMax.
+	if msg.A == b.tr.trueMax {
+		b.tr.prog.Add(1)
 	}
 }
 
@@ -101,38 +163,117 @@ func (b *node) Recv(t int64, msg *radio.Message, _ bool) {
 // multi-source extension used by the binary-search leader election of [2]).
 type Broadcast struct {
 	Engine *radio.Engine
-	nodes  []*node
+	nodes  []node
+	tr     tracker
 }
 
 // NewBroadcast builds a Decay broadcast instance on g where each source
 // node starts informed with its value from sources. seed determines all
-// randomness.
+// randomness. Source values must be non-negative (-1 is the internal
+// uninformed sentinel, as in compete.Uninformed); negative values panic
+// rather than silently failing to propagate.
 func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64) *Broadcast {
 	n := g.N()
 	L := cfg.levels(n)
 	master := rng.New(seed)
-	ns := make([]*node, n)
+	b := &Broadcast{nodes: make([]node, n)}
+	b.tr.levels = L
+	b.tr.probs = make([]float64, L)
+	b.tr.thr = make([]uint64, L)
+	for s := range b.tr.probs {
+		p := Prob(s)
+		b.tr.probs[s] = p
+		// rng.Bernoulli(p) is Float64() < p with Float64 = (Uint64>>11)/2^53.
+		// Both sides are exact powers of two, so the comparison equals the
+		// integer test (Uint64>>11) < ceil(p*2^53) — same draw, same
+		// outcome, no float math on the hot path.
+		b.tr.thr[s] = uint64(math.Ceil(p * (1 << 53)))
+	}
+	b.tr.isInformed = make([]bool, n)
 	rn := make([]radio.Node, n)
 	for i := 0; i < n; i++ {
-		ns[i] = &node{levels: L, rnd: master.Fork(uint64(i)), joinMid: cfg.JoinMidPhase}
-		rn[i] = ns[i]
+		b.nodes[i] = node{rnd: *master.Fork(uint64(i)), tr: &b.tr, idx: int32(i), joinMid: cfg.JoinMidPhase, val: -1}
+		rn[i] = &b.nodes[i]
 		if cfg.Wrap != nil {
 			rn[i] = cfg.Wrap(i, rn[i])
 		}
 	}
-	for s, v := range sources {
-		ns[s].informed = true
-		ns[s].val = v
+	first := true
+	for _, v := range sources {
+		if first || v > b.tr.trueMax {
+			b.tr.trueMax = v
+			first = false
+		}
 	}
-	return &Broadcast{Engine: radio.NewEngine(g, rn), nodes: ns}
+	atMax := int64(0)
+	for s, v := range sources {
+		if v < 0 {
+			panic(fmt.Sprintf("decay: source %d has negative message %d", s, v))
+		}
+		b.tr.isInformed[s] = true
+		b.nodes[s].val = v
+		b.tr.informed++
+		if v == b.tr.trueMax {
+			atMax++
+		}
+	}
+	// Completion: every node at trueMax. With no sources nothing can ever
+	// circulate, so the target is pinned out of reach (the full scan's
+	// "no informed node" case).
+	target := int64(n)
+	if len(sources) == 0 {
+		target = int64(n) + 1
+	}
+	b.tr.prog = *radio.NewProgress(target)
+	b.tr.prog.Add(atMax)
+	b.Engine = radio.NewEngine(g, rn)
+	if cfg.Wrap == nil {
+		// All engine nodes are exactly &b.nodes[i], so the bulk Act fast
+		// path is observationally identical; a Wrap hook interposes
+		// per-node behavior and disables it.
+		b.Engine.Bulk = b
+	}
+	return b
 }
 
-// Done reports whether every node knows the maximum source value.
-func (b *Broadcast) Done() bool {
+// ActBulk implements radio.BulkActor: one pass over the contiguous node
+// slice, mirroring node.Act exactly (same checks, same RNG draws, same
+// order) without per-node interface dispatch.
+func (b *Broadcast) ActBulk(t int64, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
+	L := int64(b.tr.levels)
+	thr := b.tr.thr
+	for i, inf := range b.tr.isInformed {
+		if !inf {
+			continue
+		}
+		nd := &b.nodes[i]
+		if !nd.joinMid && t < nd.informedAt {
+			continue
+		}
+		for t-nd.phaseStart >= L {
+			nd.phaseStart += L
+		}
+		step := int(t - nd.phaseStart)
+		if nd.rnd.Uint64()>>11 < thr[step] { // == rnd.Bernoulli(probs[step])
+			tx = append(tx, int32(i))
+			msgs = append(msgs, radio.Message{Kind: KindBroadcast, A: nd.val})
+		}
+	}
+	return tx, msgs
+}
+
+// Done reports whether every node knows the maximum source value. O(1):
+// completion is tracked incrementally at the Recv transitions (see
+// doneFullScan for the reference semantics it mirrors).
+func (b *Broadcast) Done() bool { return b.tr.prog.Done() }
+
+// doneFullScan is the O(n) reference implementation of Done, kept for the
+// equivalence tests and the termination-checking benchmarks.
+func (b *Broadcast) doneFullScan() bool {
 	max := int64(0)
 	first := true
-	for _, nd := range b.nodes {
-		if nd.informed && (first || nd.val > max) {
+	for i := range b.nodes {
+		if nd := &b.nodes[i]; nd.informed() && (first || nd.val > max) {
 			max = nd.val
 			first = false
 		}
@@ -140,8 +281,8 @@ func (b *Broadcast) Done() bool {
 	if first {
 		return false
 	}
-	for _, nd := range b.nodes {
-		if !nd.informed || nd.val != max {
+	for i := range b.nodes {
+		if nd := &b.nodes[i]; !nd.informed() || nd.val != max {
 			return false
 		}
 	}
@@ -149,22 +290,14 @@ func (b *Broadcast) Done() bool {
 }
 
 // InformedCount returns how many nodes are informed of any value.
-func (b *Broadcast) InformedCount() int {
-	c := 0
-	for _, nd := range b.nodes {
-		if nd.informed {
-			c++
-		}
-	}
-	return c
-}
+func (b *Broadcast) InformedCount() int { return b.tr.informed }
 
 // Values returns a copy of each node's current value; uninformed nodes
 // report -1.
 func (b *Broadcast) Values() []int64 {
 	vs := make([]int64, len(b.nodes))
-	for i, nd := range b.nodes {
-		if nd.informed {
+	for i := range b.nodes {
+		if nd := &b.nodes[i]; nd.informed() {
 			vs[i] = nd.val
 		} else {
 			vs[i] = -1
@@ -176,7 +309,7 @@ func (b *Broadcast) Values() []int64 {
 // Run executes until completion or maxRounds, returning the rounds used in
 // this call and whether broadcast completed.
 func (b *Broadcast) Run(maxRounds int64) (int64, bool) {
-	return b.Engine.Run(maxRounds, b.Done)
+	return b.Engine.RunUntil(maxRounds, &b.tr.prog)
 }
 
 // Participant is a reusable Decay phase driver for protocols that embed

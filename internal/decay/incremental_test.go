@@ -1,0 +1,176 @@
+package decay
+
+import (
+	"math"
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/radio"
+	"radionet/internal/rng"
+)
+
+// Prob must stay a finite, positive-or-zero, non-increasing probability
+// for every step, including shifts past the int64 range (the seed
+// overflowed at s >= 62, yielding ±Inf via a wrapped shift).
+func TestProbClampedForLargeSteps(t *testing.T) {
+	prev := 1.0
+	for s := 0; s < 1200; s++ {
+		p := Prob(s)
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 0.5 {
+			t.Fatalf("Prob(%d) = %v out of range", s, p)
+		}
+		if p > prev {
+			t.Fatalf("Prob(%d) = %v > Prob(%d) = %v: not monotone", s, p, s-1, prev)
+		}
+		prev = p
+	}
+	// Exact powers of two while representable.
+	if got := Prob(61); got != math.Ldexp(1, -62) {
+		t.Fatalf("Prob(61) = %v, want 2^-62", got)
+	}
+	if got := Prob(62); got != math.Ldexp(1, -63) {
+		t.Fatalf("Prob(62) = %v, want 2^-63", got)
+	}
+	if got := Prob(63); got != math.Ldexp(1, -64) {
+		t.Fatalf("Prob(63) = %v, want 2^-64", got)
+	}
+	// Far past the subnormal range the probability degrades to exactly 0.
+	if got := Prob(2000); got != 0 {
+		t.Fatalf("Prob(2000) = %v, want 0", got)
+	}
+}
+
+// A huge Config.Levels (the trigger for the old overflow) must not wedge
+// the protocol: the phase spends its tail in ~zero-probability steps, but
+// early steps still make progress.
+func TestBroadcastWithHugeLevels(t *testing.T) {
+	g := graph.Path(8)
+	bc := NewBroadcast(g, Config{Levels: 80}, 3, map[int]int64{0: 9})
+	if _, done := bc.Run(1 << 16); !done {
+		t.Fatalf("broadcast with Levels=80 incomplete: %d/%d informed", bc.InformedCount(), g.N())
+	}
+}
+
+// equivalenceGraphs builds the randomized sparse topologies the
+// incremental-vs-full-scan tests sweep.
+func equivalenceGraphs(seed uint64) []*graph.Graph {
+	r := rng.New(seed)
+	return []*graph.Graph{
+		graph.RandomTree(60, r.Fork(1)),
+		graph.Gnp(80, 0.05, r.Fork(2)),
+		graph.Grid(6, 9),
+		graph.PathOfCliques(6, 4),
+	}
+}
+
+// Incremental Done must agree with the O(n) reference scan after every
+// single round, across graphs, seeds, source patterns and both engine
+// paths (bulk and wrapped per-node).
+func TestDoneMatchesFullScanEveryRound(t *testing.T) {
+	identity := func(_ int, n radio.Node) radio.Node { return n }
+	for seed := uint64(1); seed <= 3; seed++ {
+		for gi, g := range equivalenceGraphs(seed) {
+			for _, wrap := range []bool{false, true} {
+				cfg := Config{}
+				if wrap {
+					// Exercises the per-node engine path (Bulk disabled).
+					cfg.Wrap = identity
+				}
+				sources := map[int]int64{0: 9}
+				if gi%2 == 1 { // multi-source with distinct values
+					sources = map[int]int64{0: 5, g.N() / 2: 9, g.N() - 1: 2}
+				}
+				bc := NewBroadcast(g, cfg, seed, sources)
+				if wrap == (bc.Engine.Bulk != nil) {
+					t.Fatalf("Bulk fast path: wrap=%v but Bulk=%v", wrap, bc.Engine.Bulk)
+				}
+				for r := 0; r < 1<<14; r++ {
+					inc, ref := bc.Done(), bc.doneFullScan()
+					if inc != ref {
+						t.Fatalf("%s seed=%d wrap=%v round %d: incremental Done=%v, full scan=%v",
+							g, seed, wrap, r, inc, ref)
+					}
+					if ref {
+						break
+					}
+					bc.Engine.Step()
+				}
+				if !bc.doneFullScan() {
+					t.Fatalf("%s seed=%d wrap=%v: broadcast did not complete", g, seed, wrap)
+				}
+			}
+		}
+	}
+}
+
+// The wrapped per-node path and the bulk path must stay bit-identical:
+// same completion round, same metrics, same final values.
+func TestBulkAndPerNodePathsIdentical(t *testing.T) {
+	identity := func(_ int, n radio.Node) radio.Node { return n }
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, g := range equivalenceGraphs(seed) {
+			run := func(cfg Config) (int64, radio.Metrics, []int64) {
+				bc := NewBroadcast(g, cfg, seed, map[int]int64{0: 9})
+				rounds, done := bc.Run(1 << 20)
+				if !done {
+					t.Fatalf("%s seed=%d: incomplete", g, seed)
+				}
+				return rounds, bc.Engine.Metrics, bc.Values()
+			}
+			r1, m1, v1 := run(Config{})
+			r2, m2, v2 := run(Config{Wrap: identity})
+			if r1 != r2 || m1 != m2 {
+				t.Fatalf("%s seed=%d: bulk (%d rounds, %+v) vs per-node (%d rounds, %+v)",
+					g, seed, r1, m1, r2, m2)
+			}
+			for i := range v1 {
+				if v1[i] != v2[i] {
+					t.Fatalf("%s seed=%d node %d: bulk val %d vs per-node %d", g, seed, i, v1[i], v2[i])
+				}
+			}
+		}
+	}
+}
+
+// InformedCount must agree with a scan of Values at every round.
+func TestInformedCountIncremental(t *testing.T) {
+	g := graph.RandomTree(80, rng.New(5))
+	bc := NewBroadcast(g, Config{}, 2, map[int]int64{3: 7})
+	for r := 0; r < 1<<14 && !bc.Done(); r++ {
+		want := 0
+		for _, v := range bc.Values() {
+			if v >= 0 {
+				want++
+			}
+		}
+		if got := bc.InformedCount(); got != want {
+			t.Fatalf("round %d: InformedCount = %d, scan = %d", r, got, want)
+		}
+		bc.Engine.Step()
+	}
+}
+
+// Negative source values collide with the uninformed sentinel and must be
+// rejected loudly instead of silently never propagating.
+func TestNegativeSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative source value")
+		}
+	}()
+	NewBroadcast(graph.Path(4), Config{}, 1, map[int]int64{0: -5})
+}
+
+// No sources: Done must stay false forever (the seed full scan's "no
+// informed node" case), not trivially complete.
+func TestDoneWithoutSources(t *testing.T) {
+	g := graph.Path(4)
+	bc := NewBroadcast(g, Config{}, 1, nil)
+	rounds, done := bc.Run(64)
+	if done || rounds != 64 {
+		t.Fatalf("sourceless broadcast: rounds = %d done = %v, want 64 false", rounds, done)
+	}
+	if bc.doneFullScan() {
+		t.Fatal("full scan claims completion without sources")
+	}
+}

@@ -2,7 +2,7 @@
 // artifact of the reproduction. The paper has no measured tables or
 // figures (it is a theory paper), so each theorem/lemma bound and each
 // comparison claim of Sections 1.3–1.4 is treated as one artifact; the
-// per-experiment index lives in DESIGN.md §5 and results are recorded in
+// per-experiment index lives in DESIGN.md §6 and results are recorded in
 // EXPERIMENTS.md.
 //
 // Every experiment is a Runner keyed by its ID (T1…T7, F1…F6) returning a

@@ -54,7 +54,8 @@ func (g *Graph) HasEdge(u, v int) bool {
 // Edges calls fn once per undirected edge with u < v. It stops early if fn
 // returns false.
 func (g *Graph) Edges(fn func(u, v int) bool) {
-	for u := 0; u < g.N(); u++ {
+	n := g.N()
+	for u := 0; u < n; u++ {
 		for _, w := range g.Neighbors(u) {
 			v := int(w)
 			if u < v && !fn(u, v) {
@@ -144,12 +145,23 @@ func (b *Builder) Build() *Graph {
 		pos[e[1]]++
 	}
 	g := &Graph{name: b.name, off: deg, adj: adj}
-	// Neighbor lists come out sorted because edges were sorted by (u,v)
-	// for the forward direction, but reverse-direction inserts can break
-	// order; sort each list to guarantee the HasEdge invariant.
+	// Each neighbor list comes out sorted without any per-vertex re-sort:
+	// edges are sorted by (u, v) with u < v, so for a vertex w the
+	// reverse-direction entries (sources u < w) are appended in ascending
+	// u order, all before the forward-direction entries (targets v > w),
+	// which are themselves appended in ascending v order — a sorted run of
+	// values < w followed by a sorted run of values > w. A linear check
+	// guards the HasEdge invariant (and would repair it if the fill logic
+	// ever changed), replacing the former O(deg·log deg) re-sort per
+	// vertex with an O(deg) verification.
 	for v := 0; v < b.n; v++ {
 		nb := g.adj[g.off[v]:g.off[v+1]]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] > nb[i] {
+				sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+				break
+			}
+		}
 	}
 	return g
 }

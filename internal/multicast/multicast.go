@@ -37,6 +37,7 @@ const KindMulti radio.Kind = 5
 type node struct {
 	levels int
 	rnd    *rng.Rand
+	prog   *radio.Progress // nodes knowing all k messages (shared)
 	vals   []int64
 	known  []bool
 	count  int
@@ -49,8 +50,19 @@ func (nd *node) learn(idx int, val int64) {
 		nd.vals[idx] = val
 		nd.count++
 		nd.latest = idx
+		if nd.count == len(nd.known) {
+			nd.prog.Add(1) // per-message counts only grow: counted once
+		}
 	}
 }
+
+// Dormant implements radio.Sleeper: a node that knows no message yet
+// always listens, ignores silence, and consumes no randomness.
+func (nd *node) Dormant() bool { return nd.count == 0 }
+
+// IgnoresSilence implements radio.SilenceOblivious: Recv without a message
+// is always a no-op.
+func (nd *node) IgnoresSilence() bool { return true }
 
 func (nd *node) Act(t int64) radio.Action {
 	if nd.count == 0 {
@@ -94,6 +106,7 @@ type Pipelined struct {
 	Engine *radio.Engine
 	nodes  []*node
 	k      int
+	prog   radio.Progress // completion tracker shared with the nodes
 }
 
 // NewPipelined builds a pipelined broadcast of msgs from src on g.
@@ -106,26 +119,34 @@ func NewPipelined(g *graph.Graph, seed uint64, src int, msgs []int64) (*Pipeline
 	}
 	master := rng.New(seed)
 	l := decay.Levels(g.N())
-	ns := make([]*node, g.N())
+	p := &Pipelined{nodes: make([]*node, g.N()), k: len(msgs)}
+	p.prog = *radio.NewProgress(int64(g.N()))
 	rn := make([]radio.Node, g.N())
-	for v := range ns {
-		ns[v] = &node{
+	for v := range p.nodes {
+		p.nodes[v] = &node{
 			levels: l,
 			rnd:    master.Fork(uint64(v)),
+			prog:   &p.prog,
 			vals:   make([]int64, len(msgs)),
 			known:  make([]bool, len(msgs)),
 			latest: -1,
 		}
-		rn[v] = ns[v]
+		rn[v] = p.nodes[v]
 	}
 	for i, m := range msgs {
-		ns[src].learn(i, m)
+		p.nodes[src].learn(i, m)
 	}
-	return &Pipelined{Engine: radio.NewEngine(g, rn), nodes: ns, k: len(msgs)}, nil
+	p.Engine = radio.NewEngine(g, rn)
+	return p, nil
 }
 
-// Done reports whether every node knows all k messages.
-func (p *Pipelined) Done() bool {
+// Done reports whether every node knows all k messages. O(1): nodes report
+// their k-th delivery to the shared radio.Progress inside learn.
+func (p *Pipelined) Done() bool { return p.prog.Done() }
+
+// doneFullScan is the O(n) reference implementation of Done, kept for the
+// equivalence tests.
+func (p *Pipelined) doneFullScan() bool {
 	for _, nd := range p.nodes {
 		if nd.count != p.k {
 			return false
@@ -145,7 +166,7 @@ func (p *Pipelined) KnownCounts() []int {
 
 // Run executes until completion or maxRounds.
 func (p *Pipelined) Run(maxRounds int64) (int64, bool) {
-	return p.Engine.Run(maxRounds, p.Done)
+	return p.Engine.RunUntil(maxRounds, &p.prog)
 }
 
 // Sequential runs k single-message Decay broadcasts back to back and

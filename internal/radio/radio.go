@@ -59,10 +59,47 @@ type Node interface {
 	Act(round int64) Action
 	// Recv reports the outcome of the round to a listening node.
 	// msg is nil if the node heard nothing; the pointer is only valid for
-	// the duration of the call. collided is false in the model without
-	// collision detection regardless of interference; with collision
-	// detection enabled it reports that two or more neighbors transmitted.
+	// the duration of the call and the Message must be treated as
+	// read-only (listeners of one transmitter share the underlying
+	// storage). collided is false in the model without collision
+	// detection regardless of interference; with collision detection
+	// enabled it reports that two or more neighbors transmitted.
 	Recv(round int64, msg *Message, collided bool)
+}
+
+// Sleeper is an optional extension of Node for protocols with a dormant
+// state, the second half of the hot-path contract alongside Progress. A
+// node reporting Dormant() == true promises that, until it next receives a
+// message (or a collision report when collision detection is enabled), it
+// will always Listen, ignores silence reports, and consumes no randomness.
+// The engine then skips the node's Act call entirely and skips the
+// nothing-heard Recv call, so rounds cost O(active + on-air) node work
+// instead of O(n). After delivering a reception to a dormant node the
+// engine re-queries Dormant; a node that has reported itself non-dormant
+// (at construction or after a wake-up) stays awake for the rest of the
+// run — dormancy is exited at most once.
+//
+// Wrapped nodes (fault injection, TDM) do not implement Sleeper and are
+// simply always awake; correctness never depends on the extension.
+type Sleeper interface {
+	Node
+	// Dormant reports whether the node is in its dormant state.
+	Dormant() bool
+}
+
+// SilenceOblivious is an optional marker extension of Node: a node whose
+// IgnoresSilence returns true declares that its Recv is a no-op whenever
+// msg == nil and collided == false, so the engine may skip nothing-heard
+// Recv calls. When every node of an engine declares it, the per-round
+// listener pass shrinks from O(n) to O(nodes with a transmitting
+// neighbor). Every protocol node in this repository qualifies; test
+// doubles and fault wrappers simply don't implement the marker and keep
+// the full per-round Recv contract.
+type SilenceOblivious interface {
+	Node
+	// IgnoresSilence reports whether Recv(t, nil, false) is a no-op for
+	// the node's entire lifetime. Consulted once, at engine construction.
+	IgnoresSilence() bool
 }
 
 // Silent is a Node that always listens and ignores everything.
@@ -73,6 +110,12 @@ func (Silent) Act(int64) Action { return Listen }
 
 // Recv implements Node.
 func (Silent) Recv(int64, *Message, bool) {}
+
+// Dormant implements Sleeper: Silent is dormant forever.
+func (Silent) Dormant() bool { return true }
+
+// IgnoresSilence implements SilenceOblivious.
+func (Silent) IgnoresSilence() bool { return true }
 
 // Metrics accumulates engine counters over a run.
 type Metrics struct {
@@ -87,6 +130,22 @@ type Metrics struct {
 // round's delivery and collision counts.
 type RoundHook func(round int64, transmitters []int32, deliveries, collisions int)
 
+// BulkActor is an optional protocol-side fast path for the Act half of a
+// round: one call computes the whole round's transmissions, replacing n
+// interface dispatches (and n Action returns) with a single call into a
+// loop the protocol can run over its own contiguous node storage. The
+// implementation MUST be observationally identical to calling Act on every
+// node in increasing id order — same transmitters, same messages, same
+// randomness consumed — it is an optimization seam, never a semantic one.
+// Protocols install it via Engine.Bulk before the first Step; wrapped
+// nodes (fault injection) cannot use it, so constructors leave Bulk nil
+// whenever a Wrap hook is set.
+type BulkActor interface {
+	// ActBulk appends the ids (ascending) and messages of this round's
+	// transmitters to tx and msgs and returns the extended slices.
+	ActBulk(round int64, tx []int32, msgs []Message) ([]int32, []Message)
+}
+
 // Engine executes a protocol on a graph under the radio collision model.
 type Engine struct {
 	G     *graph.Graph
@@ -97,15 +156,23 @@ type Engine struct {
 	CollisionDetection bool
 	// Hook, if set, is invoked after every round (tracing/metrics).
 	Hook RoundHook
+	// Bulk, if non-nil, replaces the per-node Act loop (see BulkActor).
+	Bulk BulkActor
 
 	Metrics Metrics
 
 	round    int64
 	hits     []int32   // number of transmitting neighbors this round
 	stamp    []int64   // round stamp for lazy reset of hits
-	inbox    []Message // last message heard per node (valid when hits==1)
-	actions  []Action
-	transmit []int32 // scratch: ids of transmitting nodes
+	inbox    []int32   // index into txmsg of the message heard (valid when hits==1)
+	isTx     []bool    // whether each node transmitted this round
+	txmsg    []Message // scratch: messages of transmitting nodes, parallel to transmit
+	transmit []int32   // scratch: ids of transmitting nodes
+	stamped  []int32   // scratch: nodes with >= 1 transmitting neighbor
+	sleeper  []Sleeper // nil for nodes without the Sleeper extension
+	dormant  []bool    // engine-cached Dormant() state
+	quiet    []bool    // engine-cached IgnoresSilence() state
+	allQuiet bool      // every node ignores silence: sparse listener pass
 }
 
 // NewEngine returns an engine running nodes on g. len(nodes) must equal
@@ -115,15 +182,33 @@ func NewEngine(g *graph.Graph, nodes []Node) *Engine {
 		panic(fmt.Sprintf("radio: %d nodes for graph with %d vertices", len(nodes), g.N()))
 	}
 	n := g.N()
-	return &Engine{
+	e := &Engine{
 		G:        g,
 		Nodes:    nodes,
 		hits:     make([]int32, n),
 		stamp:    make([]int64, n),
-		inbox:    make([]Message, n),
-		actions:  make([]Action, n),
+		inbox:    make([]int32, n),
+		isTx:     make([]bool, n),
+		txmsg:    make([]Message, 0, n),
 		transmit: make([]int32, 0, n),
+		stamped:  make([]int32, 0, n),
+		sleeper:  make([]Sleeper, n),
+		dormant:  make([]bool, n),
+		quiet:    make([]bool, n),
+		allQuiet: true,
 	}
+	for i, nd := range nodes {
+		if s, ok := nd.(Sleeper); ok {
+			e.sleeper[i] = s
+			e.dormant[i] = s.Dormant()
+		}
+		if q, ok := nd.(SilenceOblivious); ok && q.IgnoresSilence() {
+			e.quiet[i] = true
+		} else {
+			e.allQuiet = false
+		}
+	}
+	return e
 }
 
 // Round returns the index of the next round to execute.
@@ -134,44 +219,96 @@ func (e *Engine) Step() {
 	t := e.round
 	e.round++
 	e.Metrics.Rounds++
-	e.transmit = e.transmit[:0]
-	for i, nd := range e.Nodes {
-		a := nd.Act(t)
-		e.actions[i] = a
-		if a.Transmit {
-			e.transmit = append(e.transmit, int32(i))
+	if e.Bulk != nil {
+		// isTx is maintained differentially: entries set last round are
+		// exactly last round's transmit list (the dense loop below instead
+		// rewrites every entry each round).
+		for _, u := range e.transmit {
+			e.isTx[u] = false
+		}
+		e.transmit = e.transmit[:0]
+		e.txmsg = e.txmsg[:0]
+		e.transmit, e.txmsg = e.Bulk.ActBulk(t, e.transmit, e.txmsg)
+		for _, u := range e.transmit {
+			e.isTx[u] = true
+		}
+	} else {
+		e.transmit = e.transmit[:0]
+		e.txmsg = e.txmsg[:0]
+		for i, nd := range e.Nodes {
+			if e.dormant[i] {
+				e.isTx[i] = false // dormant nodes promise to listen
+				continue
+			}
+			a := nd.Act(t)
+			e.isTx[i] = a.Transmit
+			if a.Transmit {
+				e.transmit = append(e.transmit, int32(i))
+				e.txmsg = append(e.txmsg, a.Msg)
+			}
 		}
 	}
 	e.Metrics.Transmissions += int64(len(e.transmit))
 	// Mark reception counts lazily: stamp arrays avoid an O(n) clear.
 	cur := t + 1 // stamps are 1-based so the zero value never matches
-	for _, u := range e.transmit {
-		msg := e.actions[u].Msg
-		msg.Src = u
+	e.stamped = e.stamped[:0]
+	for j, u := range e.transmit {
+		e.txmsg[j].Src = u
 		for _, v := range e.G.Neighbors(int(u)) {
 			if e.stamp[v] != cur {
 				e.stamp[v] = cur
 				e.hits[v] = 1
-				e.inbox[v] = msg
+				e.inbox[v] = int32(j)
+				e.stamped = append(e.stamped, v)
 			} else {
 				e.hits[v]++
 			}
 		}
 	}
 	deliveries, collisions := 0, 0
-	for i, nd := range e.Nodes {
-		if e.actions[i].Transmit {
-			continue // transmitters cannot listen
+	if e.allQuiet {
+		// Sparse listener pass: every node ignores silence, so only nodes
+		// with a transmitting neighbor need a Recv call. Per-node outcomes
+		// are identical to the dense pass (node state is private and no
+		// protocol draws randomness in Recv); only the call order differs.
+		for _, vi := range e.stamped {
+			i := int(vi)
+			if e.isTx[i] {
+				continue // transmitters cannot listen
+			}
+			if e.hits[i] == 1 {
+				deliveries++
+				e.Nodes[i].Recv(t, &e.txmsg[e.inbox[i]], false)
+			} else {
+				collisions++
+				e.Nodes[i].Recv(t, nil, e.CollisionDetection)
+			}
+			if e.dormant[i] {
+				e.dormant[i] = e.sleeper[i].Dormant()
+			}
 		}
-		switch {
-		case e.stamp[i] == cur && e.hits[i] == 1:
-			deliveries++
-			nd.Recv(t, &e.inbox[i], false)
-		case e.stamp[i] == cur && e.hits[i] > 1:
-			collisions++
-			nd.Recv(t, nil, e.CollisionDetection)
-		default:
-			nd.Recv(t, nil, false)
+	} else {
+		for i, nd := range e.Nodes {
+			if e.isTx[i] {
+				continue // transmitters cannot listen
+			}
+			onAir := e.stamp[i] == cur
+			if !onAir && (e.dormant[i] || e.quiet[i]) {
+				continue // nothing heard and the node ignores silence
+			}
+			switch {
+			case onAir && e.hits[i] == 1:
+				deliveries++
+				nd.Recv(t, &e.txmsg[e.inbox[i]], false)
+			case onAir:
+				collisions++
+				nd.Recv(t, nil, e.CollisionDetection)
+			default:
+				nd.Recv(t, nil, false)
+			}
+			if e.dormant[i] {
+				e.dormant[i] = e.sleeper[i].Dormant()
+			}
 		}
 	}
 	e.Metrics.Deliveries += int64(deliveries)
@@ -185,7 +322,9 @@ func (e *Engine) Step() {
 // been executed in this call, whichever comes first. stop is evaluated
 // after each round (and once before the first, so an already-satisfied
 // predicate costs zero rounds). It returns the number of rounds executed
-// by this call and whether stop was satisfied.
+// by this call and whether stop was satisfied; with a nil stop the
+// predicate is never satisfied, so done is always false and exactly
+// maxRounds rounds execute.
 func (e *Engine) Run(maxRounds int64, stop func() bool) (rounds int64, done bool) {
 	if stop != nil && stop() {
 		return 0, true
@@ -197,7 +336,63 @@ func (e *Engine) Run(maxRounds int64, stop func() bool) (rounds int64, done bool
 			return rounds, true
 		}
 	}
-	return rounds, stop == nil
+	return rounds, false
+}
+
+// Progress is the engine-side convention for O(1) termination checking on
+// the simulation hot path. A protocol that knows its completion target up
+// front (typically "all n nodes reached some state") holds one Progress,
+// shares a pointer to it with its per-node state machines, and calls Add
+// from inside Recv (or wherever the tracked state transition happens) —
+// never from a scan. Done then costs a single counter comparison per
+// round instead of the O(n) full scan a stop predicate would need.
+//
+// The counting discipline that keeps Done equivalent to a full scan:
+// call Add(1) exactly when a node crosses the tracked threshold for the
+// first time, count nodes that start beyond the threshold at construction
+// time, and never decrement. A target the protocol can prove unreachable
+// (e.g. "no source was supplied") may be encoded as target = n+1, which
+// pins Done at false forever. The zero value (target 0, count 0) reports
+// Done immediately, matching the vacuous full scan over zero nodes.
+type Progress struct {
+	target int64
+	count  int64
+}
+
+// NewProgress returns a Progress that completes after target Add units.
+func NewProgress(target int64) *Progress { return &Progress{target: target} }
+
+// Add records d units of completion (d may be 0; negative d is a caller
+// bug and will desynchronize Done from the protocol state).
+func (p *Progress) Add(d int64) { p.count += d }
+
+// Count returns the units recorded so far.
+func (p *Progress) Count() int64 { return p.count }
+
+// Target returns the completion target.
+func (p *Progress) Target() int64 { return p.target }
+
+// Done reports whether the target has been reached. O(1).
+func (p *Progress) Done() bool { return p.count >= p.target }
+
+// RunUntil executes rounds until p.Done() or maxRounds rounds have been
+// executed in this call, whichever comes first, with the same evaluation
+// points as Run (once before the first round, then after every round).
+// It is the fast path for protocols that track completion incrementally:
+// no predicate closure is allocated and the per-round check is a counter
+// comparison.
+func (e *Engine) RunUntil(maxRounds int64, p *Progress) (rounds int64, done bool) {
+	if p.Done() {
+		return 0, true
+	}
+	for rounds = 0; rounds < maxRounds; {
+		e.Step()
+		rounds++
+		if p.Done() {
+			return rounds, true
+		}
+	}
+	return rounds, false
 }
 
 // TDM interleaves k sub-protocols in time-division lanes: global round t

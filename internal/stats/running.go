@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Running is a mergeable single-pass summary of a stream of observations.
 // Moments are maintained with Welford's algorithm so Mean and Std are
@@ -104,18 +107,21 @@ func (r *Running) Quantile(q float64) float64 {
 	return Quantile(r.vals, q)
 }
 
-// Summary renders the stream as a Summary.
+// Summary renders the stream as a Summary. The retained sample is copied
+// and sorted once, shared by all three quantiles.
 func (r *Running) Summary() Summary {
 	if r.n == 0 {
 		return Summary{}
 	}
+	ys := append([]float64(nil), r.vals...)
+	sort.Float64s(ys)
 	return Summary{
 		N:    r.n,
 		Mean: r.Mean(),
 		Std:  r.Std(),
-		P50:  r.Quantile(0.5),
-		P90:  r.Quantile(0.9),
-		P99:  r.Quantile(0.99),
+		P50:  quantileSorted(ys, 0.5),
+		P90:  quantileSorted(ys, 0.9),
+		P99:  quantileSorted(ys, 0.99),
 		Max:  r.Max(),
 	}
 }

@@ -43,6 +43,13 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	ys := append([]float64(nil), xs...)
 	sort.Float64s(ys)
+	return quantileSorted(ys, q)
+}
+
+// quantileSorted is Quantile on an already-sorted slice, letting callers
+// that need several quantiles (Summarize, Running.Summary) copy and sort
+// the sample once instead of once per quantile.
+func quantileSorted(ys []float64, q float64) float64 {
 	if q <= 0 {
 		return ys[0]
 	}
@@ -84,14 +91,16 @@ func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
 	return Summary{
 		N:    len(xs),
 		Mean: Mean(xs),
 		Std:  Std(xs),
-		P50:  Quantile(xs, 0.5),
-		P90:  Quantile(xs, 0.9),
-		P99:  Quantile(xs, 0.99),
-		Max:  Max(xs),
+		P50:  quantileSorted(ys, 0.5),
+		P90:  quantileSorted(ys, 0.9),
+		P99:  quantileSorted(ys, 0.99),
+		Max:  ys[len(ys)-1],
 	}
 }
 

@@ -27,7 +27,7 @@
 //	res, err := net.Broadcast(0, 42, radionet.BroadcastOptions{Seed: 1})
 //	// res.Rounds is the number of radio rounds until every node knew 42.
 //
-// The experiment harness behind DESIGN.md §5 and EXPERIMENTS.md is in
+// The experiment harness behind DESIGN.md §6 and EXPERIMENTS.md is in
 // cmd/experiments; cmd/campaign runs declarative topology × algorithm ×
 // seed matrices on the internal/campaign worker pool; runnable scenarios
 // are under examples/.
@@ -189,6 +189,11 @@ func (n *Network) Broadcast(src int, value int64, o BroadcastOptions) (Result, e
 // (Theorem 4.1). The oblivious baselines run their multi-source
 // extensions.
 func (n *Network) Compete(sources map[int]int64, o BroadcastOptions) (Result, error) {
+	for s, v := range sources {
+		if v < 0 {
+			return Result{}, fmt.Errorf("radionet: source %d has negative message %d", s, v)
+		}
+	}
 	switch o.Algorithm {
 	case "", CD17, HW16:
 		cfg := o.Config
