@@ -14,12 +14,15 @@
 //	campaign -algos broadcast:cd17,leader:cd17 -topos path:256 -seeds 5 -format jsonl
 //	campaign -config matrix.json -workers 4 -format csv
 //	campaign -preset large-n-broadcast -seeds 5
+//	campaign -preset large-n-broadcast -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"radionet/internal/campaign"
@@ -45,6 +48,8 @@ func run() error {
 		timings = flag.Bool("timings", false, "include wall-time aggregates (non-deterministic)")
 		config  = flag.String("config", "", "JSON matrix file (flags override its seeds/master_seed/max_rounds when set)")
 		preset  = flag.String("preset", "", "built-in matrix preset: "+strings.Join(campaign.PresetNames(), "|")+" (flags override as with -config)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile (post-GC, at exit) to this file")
 	)
 	flag.Parse()
 
@@ -102,6 +107,33 @@ func run() error {
 	sink, err := campaign.NewSink(*format, os.Stdout)
 	if err != nil {
 		return err
+	}
+	// Profiling starts only after every usage error has had its chance, so
+	// a bad invocation never truncates an existing profile file.
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: memprofile:", err)
+			}
+		}()
 	}
 	c := campaign.Campaign{Matrix: m, Workers: *workers, Timings: *timings}
 	_, err = c.Run(sink)

@@ -176,6 +176,14 @@ func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
 		return nil, err
 	}
 	results := make([]TrialResult, len(plan.Trials))
+	// One shared scratch per configuration: the topology's graph and
+	// diameter are already built once per config at Expand time, and the
+	// scratch extends the same amortization to the seed-independent part
+	// of each algorithm's precomputation (safe to share at any Workers).
+	scratches := make([]*Scratch, len(plan.Configs))
+	for ci := range plan.Configs {
+		scratches[ci] = NewScratch(&plan.Configs[ci])
+	}
 
 	var (
 		mu        sync.Mutex
@@ -203,7 +211,7 @@ func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
 	}
 	ForEach(c.Workers, len(plan.Trials), func(i int) {
 		tr := plan.Trials[i]
-		results[i] = RunTrial(&plan.Configs[tr.Cfg], tr.Seed, plan.Max)
+		results[i] = RunTrialScratch(&plan.Configs[tr.Cfg], tr.Seed, plan.Max, scratches[tr.Cfg])
 		mu.Lock()
 		defer mu.Unlock()
 		remaining[tr.Cfg]--

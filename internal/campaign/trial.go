@@ -61,24 +61,62 @@ func decayBudget(n, d int) int64 {
 	return 20 * (int64(d) + l) * l
 }
 
+// Scratch carries the reusable, seed-independent part of one Config's
+// per-trial work: for the compete-pipeline algorithms (cd17, hw16) a
+// shared compete.Pre, so repeated trials on the same graph skip the
+// parameter-grid computation and recycle the Partition/schedule build
+// buffers. A Scratch is safe for concurrent use — workers at any -workers
+// value may share one — and sharing it changes no output bit (the
+// per-seed randomness is drawn exactly as without it).
+type Scratch struct {
+	pre *compete.Pre // non-nil for compete-pipeline configs
+}
+
+// NewScratch builds the per-config scratch for cfg. Configs outside the
+// compete pipeline get an empty scratch (their trials have no reusable
+// seed-independent precomputation).
+func NewScratch(cfg *Config) *Scratch {
+	s := &Scratch{}
+	switch {
+	case cfg.Spec.Task == Broadcast && (cfg.Spec.Algo == "cd17" || cfg.Spec.Algo == "hw16"):
+		s.pre = compete.NewPre(cfg.G, cfg.D, compete.Config{CurtailLogLog: cfg.Spec.Algo == "hw16"})
+	case cfg.Spec.Task == Leader && cfg.Spec.Algo == "cd17":
+		s.pre = compete.NewPre(cfg.G, cfg.D, compete.Config{})
+	}
+	return s
+}
+
 // RunTrial executes one trial of cfg with the given RNG stream seed.
 // maxRounds 0 selects a per-algorithm whp-sufficient budget.
 func RunTrial(cfg *Config, seed uint64, maxRounds int64) TrialResult {
+	return RunTrialScratch(cfg, seed, maxRounds, nil)
+}
+
+// RunTrialScratch is RunTrial with the per-config scratch supplied by the
+// caller, the executor convention for amortizing seed-independent
+// precomputation across a configuration's seed axis. A nil scr builds a
+// fresh scratch for this trial alone.
+func RunTrialScratch(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResult {
+	if scr == nil || scr.pre == nil {
+		// Also rebuilds a zero-valued Scratch handed in for a
+		// compete-pipeline config, which would otherwise panic in the
+		// constructor; for other configs the rebuilt scratch is empty too.
+		scr = NewScratch(cfg)
+	}
 	start := time.Now()
-	res := runTrial(cfg, seed, maxRounds)
+	res := runTrial(cfg, seed, maxRounds, scr)
 	res.Wall = time.Since(start)
 	return res
 }
 
-func runTrial(cfg *Config, seed uint64, maxRounds int64) TrialResult {
+func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResult {
 	fail := func(err error) TrialResult { return TrialResult{Err: err.Error()} }
 	g, d := cfg.G, cfg.D
 	switch cfg.Spec.Task {
 	case Broadcast:
 		switch cfg.Spec.Algo {
 		case "cd17", "hw16":
-			ccfg := compete.Config{CurtailLogLog: cfg.Spec.Algo == "hw16"}
-			b, err := compete.NewBroadcast(g, d, ccfg, seed, 0, 9)
+			b, err := compete.NewBroadcastPre(scr.pre, seed, 0, 9)
 			if err != nil {
 				return fail(err)
 			}
@@ -105,7 +143,7 @@ func runTrial(cfg *Config, seed uint64, maxRounds int64) TrialResult {
 	case Leader:
 		switch cfg.Spec.Algo {
 		case "cd17":
-			le, err := compete.NewLeaderElection(g, d, compete.LeaderConfig{}, seed)
+			le, err := compete.NewLeaderElectionPre(scr.pre, compete.LeaderConfig{}, seed)
 			if err != nil {
 				return fail(err)
 			}

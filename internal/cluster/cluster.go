@@ -17,7 +17,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -48,17 +47,63 @@ type item struct {
 	dist   int32
 }
 
-type pq []item
+// The priority queue is a hand-rolled binary min-heap over the concrete
+// item type. The sift routines replicate container/heap's up/down moves
+// (same comparisons, same swaps), so the pop order — including the order
+// of equal keys — is exactly what heap.Init/Push/Pop produced before the
+// rewrite; what changed is that pushes no longer box every item through
+// an interface allocation, which dominated Partition's cost.
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].key < q[j].key }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(item)) }
-func (q *pq) Pop() any          { old := *q; x := old[len(old)-1]; *q = old[:len(old)-1]; return x }
+func heapUp(q []item, j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if q[j].key >= q[i].key {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func heapDown(q []item, i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && q[j2].key < q[j1].key {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if q[j].key >= q[i].key {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+}
+
+// Scratch holds reusable Partition buffers (the priority-queue backing
+// array and the settled bitmap), letting callers that build many
+// partitions of one graph — the Compete precomputation, trial campaigns —
+// skip the per-call allocations. The zero value is ready to use; a Scratch
+// is not safe for concurrent use.
+type Scratch struct {
+	pq      []item
+	settled []bool
+}
 
 // Partition runs the centralized Partition(β) on g using randomness from
 // r. It panics if beta <= 0.
 func Partition(g *graph.Graph, beta float64, r *rng.Rand) *Result {
+	return PartitionScratch(g, beta, r, nil)
+}
+
+// PartitionScratch is Partition with reusable build buffers; scr may be
+// nil. The result is bit-identical for every scr — the scratch only
+// recycles memory.
+func PartitionScratch(g *graph.Graph, beta float64, r *rng.Rand, scr *Scratch) *Result {
 	if beta <= 0 {
 		panic("cluster: Partition requires beta > 0")
 	}
@@ -71,6 +116,21 @@ func Partition(g *graph.Graph, beta float64, r *rng.Rand) *Result {
 		Delta:  make([]float64, n),
 		g:      g,
 	}
+	var q []item
+	var settled []bool
+	if scr != nil {
+		q = scr.pq[:0]
+		if cap(scr.settled) >= n {
+			settled = scr.settled[:n]
+			clear(settled)
+		}
+	}
+	if settled == nil {
+		settled = make([]bool, n)
+	}
+	if cap(q) < n {
+		q = make([]item, 0, n)
+	}
 	for v := 0; v < n; v++ {
 		res.Center[v] = -1
 		res.Parent[v] = -1
@@ -81,15 +141,19 @@ func Partition(g *graph.Graph, beta float64, r *rng.Rand) *Result {
 	// mean the settled path is a shortest path to the center, and by the
 	// MPX argument every node on it belongs to the same cluster, so Dist
 	// is the strong (intra-cluster) distance to the center.
-	q := make(pq, 0, n)
 	for v := 0; v < n; v++ {
 		q = append(q, item{key: -res.Delta[v], node: int32(v), center: int32(v), parent: -1})
 	}
-	heap.Init(&q)
-	settled := make([]bool, n)
+	for i := n/2 - 1; i >= 0; i-- { // heap.Init
+		heapDown(q, i, n)
+	}
 	remaining := n
-	for remaining > 0 && q.Len() > 0 {
-		it := heap.Pop(&q).(item)
+	for remaining > 0 && len(q) > 0 {
+		last := len(q) - 1 // heap.Pop
+		q[0], q[last] = q[last], q[0]
+		heapDown(q, 0, last)
+		it := q[last]
+		q = q[:last]
 		v := it.node
 		if settled[v] {
 			continue
@@ -101,15 +165,20 @@ func Partition(g *graph.Graph, beta float64, r *rng.Rand) *Result {
 		res.Dist[v] = it.dist
 		for _, w := range g.Neighbors(int(v)) {
 			if !settled[w] {
-				heap.Push(&q, item{
+				q = append(q, item{ // heap.Push
 					key:    it.key + 1,
 					node:   w,
 					center: it.center,
 					parent: v,
 					dist:   it.dist + 1,
 				})
+				heapUp(q, len(q)-1)
 			}
 		}
+	}
+	if scr != nil {
+		scr.pq = q[:0]
+		scr.settled = settled
 	}
 	return res
 }

@@ -185,7 +185,6 @@ type Compete struct {
 	g      *graph.Graph
 	d      int
 	cfg    Config
-	nodes  []*cnode
 	coarse *cluster.Result
 	mains  []fine
 	bgs    []fine
@@ -200,9 +199,21 @@ type Compete struct {
 	nsrc     int
 	// prog counts nodes whose globalMax has reached trueMax (the
 	// radio.Progress incremental-termination convention): globalMax only
-	// grows and never exceeds trueMax, so cnode.Recv can count the
-	// threshold crossing exactly once per node and Done is O(1).
+	// grows and never exceeds trueMax, so Recv can count the threshold
+	// crossing exactly once per node and Done is O(1).
 	prog radio.Progress
+
+	// Contiguous per-node protocol state, shared by the bulk fast path
+	// (bulk.go) and the retained per-node reference implementation
+	// (node.go): both operate on the same flat slices, indexed by node id,
+	// so accessors and completion tracking are path-independent.
+	globalMax []int64    // best known value per node (Uninformed sentinel)
+	rnd       []rng.Rand // per-node transmission-coin streams
+
+	// Exactly one of the two is populated: refs when a Wrap hook forces
+	// the per-node engine path, bulk otherwise.
+	refs []cnode
+	bulk *bulkState
 }
 
 const (
@@ -217,16 +228,22 @@ const (
 // source nodes to their (non-negative) messages. All randomness — shifts,
 // schedules, sequences, transmission coins — derives from seed.
 func New(g *graph.Graph, d int, cfg Config, seed uint64, sources map[int]int64) (*Compete, error) {
+	return NewWithPre(NewPre(g, d, cfg), seed, sources)
+}
+
+// NewWithPre is New with the seed-independent precomputation geometry
+// supplied externally: pre must come from NewPre with the same graph,
+// diameter and config. Construction consumes exactly the same randomness
+// as New, so trials sharing one Pre (the campaign per-config convention)
+// remain bit-identical to independently constructed instances.
+func NewWithPre(pre *Pre, seed uint64, sources map[int]int64) (*Compete, error) {
+	g, d, cfg := pre.g, pre.d, pre.cfg
 	if g.N() == 0 {
 		return nil, errors.New("compete: empty graph")
 	}
 	if len(sources) == 0 {
 		return nil, errors.New("compete: empty source set")
 	}
-	if d < 1 {
-		d = 1
-	}
-	cfg = cfg.withDefaults(d)
 	n := g.N()
 	master := rng.New(seed)
 
@@ -234,7 +251,7 @@ func New(g *graph.Graph, d int, cfg Config, seed uint64, sources map[int]int64) 
 		g:        g,
 		d:        d,
 		cfg:      cfg,
-		l4:       decay.Levels(n),
+		l4:       pre.l4,
 		seqSeed:  master.Fork(1).Uint64(),
 		coinMain: master.Fork(2).Uint64(),
 		coinBg:   master.Fork(3).Uint64(),
@@ -242,37 +259,27 @@ func New(g *graph.Graph, d int, cfg Config, seed uint64, sources map[int]int64) 
 		trueMax:  Uninformed,
 		nsrc:     len(sources),
 	}
-	logn := math.Log2(float64(n) + 2)
-	logD := math.Log2(float64(d) + 2)
+
+	scr, release := pre.scratch()
+	defer release()
 
 	// Precomputation (oracle; rounds charged below).
 	// 1) Coarse clustering with β = D^-CoarseBetaExp.
-	coarseBeta := math.Pow(float64(d), -cfg.CoarseBetaExp)
-	if coarseBeta > 1 {
-		coarseBeta = 1
-	}
-	c.coarse = cluster.Partition(g, coarseBeta, master.Fork(10))
+	c.coarse = cluster.PartitionScratch(g, pre.coarseBeta, master.Fork(10), &scr.part)
 
 	// 2) Fine clusterings for each exponent j, with schedules.
-	jmin, jmax := cluster.JRange(d, cfg.FineLoFrac, cfg.FineHiFrac)
 	if cfg.FixedJ != 0 {
-		if cfg.FixedJ < jmin || cfg.FixedJ > jmax {
-			return nil, fmt.Errorf("compete: FixedJ %d outside [%d, %d]", cfg.FixedJ, jmin, jmax)
+		if cfg.FixedJ < pre.jmin || cfg.FixedJ > pre.jmax {
+			return nil, fmt.Errorf("compete: FixedJ %d outside [%d, %d]", cfg.FixedJ, pre.jmin, pre.jmax)
 		}
 	}
 	fid := int32(0)
-	for j := jmin; j <= jmax; j++ {
+	for j := pre.jmin; j <= pre.jmax; j++ {
 		beta := math.Pow(2, -float64(j))
 		for q := 0; q < cfg.FinePerJ; q++ {
-			part := cluster.Partition(g, beta, master.Fork(100+uint64(fid)))
-			sch := schedule.Build(g, part)
-			ell := int32(math.Ceil(cfg.CurtailC * math.Pow(2, float64(j)) * logn / logD))
-			if cfg.CurtailLogLog {
-				ell = int32(math.Ceil(float64(ell) * math.Log2(logn)))
-			}
-			if ell < 2 {
-				ell = 2
-			}
+			part := cluster.PartitionScratch(g, beta, master.Fork(100+uint64(fid)), &scr.part)
+			sch := schedule.BuildScratch(g, part, scr.cont)
+			ell := pre.ellMain[j-pre.jmin]
 			if cfg.DisableCurtail {
 				ell = int32(part.MaxStrongRadius())
 				if ell < 2 {
@@ -287,45 +294,28 @@ func New(g *graph.Graph, d int, cfg Config, seed uint64, sources map[int]int64) 
 
 	// 3) Background clusterings (Algorithm 2): fixed β = D^-BgBetaExp,
 	// curtailment O(log n/β).
-	bgBeta := math.Pow(float64(d), -cfg.BgBetaExp)
-	if bgBeta > 1 {
-		bgBeta = 1
-	}
 	for q := 0; q < cfg.BgNumFine; q++ {
-		part := cluster.Partition(g, bgBeta, master.Fork(5000+uint64(q)))
-		sch := schedule.Build(g, part)
-		ell := int32(math.Ceil(cfg.BgCurtailC * logn / bgBeta))
-		if ell < 2 {
-			ell = 2
-		}
+		part := cluster.PartitionScratch(g, pre.bgBeta, master.Fork(5000+uint64(q)), &scr.part)
+		sch := schedule.BuildScratch(g, part, scr.cont)
+		ell := pre.ellBg
 		if cfg.DisableCurtail {
 			ell = int32(part.MaxStrongRadius())
 			if ell < 2 {
 				ell = 2
 			}
 		}
-		c.bgs = append(c.bgs, c.newFine(part, sch, bgBeta, 0, ell))
+		c.bgs = append(c.bgs, c.newFine(part, sch, pre.bgBeta, 0, ell))
 	}
 
 	c.PrecomputeRounds = c.precomputeCharge()
 
-	// Per-node protocol state.
-	c.nodes = make([]*cnode, n)
-	rn := make([]radio.Node, n)
+	// Per-node protocol state: flat slices indexed by node id, shared by
+	// whichever engine path runs (bulk or per-node reference).
+	c.globalMax = make([]int64, n)
+	c.rnd = make([]rng.Rand, n)
 	for v := 0; v < n; v++ {
-		nd := &cnode{
-			id:        int32(v),
-			c:         c,
-			rnd:       master.Fork(0x1_0000_0000 + uint64(v)),
-			globalMax: Uninformed,
-		}
-		nd.main.fid = c.mainFid(int32(v), 0)
-		nd.bg.fid = 0
-		c.nodes[v] = nd
-		rn[v] = nd
-		if cfg.Wrap != nil {
-			rn[v] = cfg.Wrap(v, rn[v])
-		}
+		c.globalMax[v] = Uninformed
+		c.rnd[v] = *master.Fork(0x1_0000_0000 + uint64(v))
 	}
 	for s, v := range sources {
 		if s < 0 || s >= n {
@@ -334,7 +324,7 @@ func New(g *graph.Graph, d int, cfg Config, seed uint64, sources map[int]int64) 
 		if v < 0 {
 			return nil, fmt.Errorf("compete: source %d has negative message %d", s, v)
 		}
-		c.nodes[s].globalMax = v
+		c.globalMax[s] = v
 		if v > c.trueMax {
 			c.trueMax = v
 		}
@@ -345,7 +335,26 @@ func New(g *graph.Graph, d int, cfg Config, seed uint64, sources map[int]int64) 
 			c.prog.Add(1)
 		}
 	}
+	rn := make([]radio.Node, n)
+	if cfg.Wrap != nil {
+		// Fault-injection path: contiguous per-node reference machines
+		// behind the wrappers; the bulk seams stay uninstalled.
+		c.refs = make([]cnode, n)
+		for v := 0; v < n; v++ {
+			c.refs[v] = cnode{id: int32(v), c: c}
+			c.refs[v].main.fid = c.mainFid(int32(v), 0)
+			rn[v] = cfg.Wrap(v, &c.refs[v])
+		}
+		c.Engine = radio.NewEngine(g, rn)
+		return c, nil
+	}
+	c.bulk = newBulkState(c)
+	for v := 0; v < n; v++ {
+		rn[v] = &c.bulk.shims[v]
+	}
 	c.Engine = radio.NewEngine(g, rn)
+	c.Engine.Bulk = c.bulk
+	c.Engine.BulkRecv = c.bulk
 	return c, nil
 }
 
@@ -416,8 +425,8 @@ func (c *Compete) Done() bool { return c.prog.Done() }
 // doneFullScan is the O(n) reference implementation of Done, kept for the
 // equivalence tests.
 func (c *Compete) doneFullScan() bool {
-	for _, nd := range c.nodes {
-		if nd.globalMax != c.trueMax {
+	for _, v := range c.globalMax {
+		if v != c.trueMax {
 			return false
 		}
 	}
@@ -430,11 +439,7 @@ func (c *Compete) InformedCount() int { return int(c.prog.Count()) }
 // Values returns each node's currently known best message (Uninformed for
 // nodes that know nothing).
 func (c *Compete) Values() []int64 {
-	vs := make([]int64, len(c.nodes))
-	for i, nd := range c.nodes {
-		vs[i] = nd.globalMax
-	}
-	return vs
+	return append([]int64(nil), c.globalMax...)
 }
 
 // Budget returns a generous default round budget for Run, derived from
@@ -473,165 +478,3 @@ func (c *Compete) Run(maxRounds int64) (int64, bool) {
 	}
 	return c.Engine.RunUntil(maxRounds, &c.prog)
 }
-
-// cnode is the per-node protocol state machine: a 4-lane TDM of the main
-// process, its Algorithm-4 helper, the background process, and its helper.
-type cnode struct {
-	id        int32
-	c         *Compete
-	rnd       *rng.Rand
-	globalMax int64
-	main      icpState
-	bg        icpState
-}
-
-// IgnoresSilence implements radio.SilenceOblivious: Recv without a
-// message is always a no-op (cnode is never dormant, though — centers
-// transmit spontaneously).
-func (nd *cnode) IgnoresSilence() bool { return true }
-
-// Act implements radio.Node.
-func (nd *cnode) Act(t int64) radio.Action {
-	lane := t % numLanes
-	lt := t / numLanes
-	switch lane {
-	case laneMain:
-		return nd.actICP(&nd.main, nd.c.mains, true)
-	case laneHelper:
-		if nd.c.cfg.DisableHelper {
-			return radio.Listen
-		}
-		return nd.actHelper(&nd.main, nd.c.mains, nd.c.coinMain, lt)
-	case laneBg:
-		if nd.c.cfg.DisableBackground {
-			return radio.Listen
-		}
-		return nd.actICP(&nd.bg, nd.c.bgs, false)
-	default:
-		if nd.c.cfg.DisableBackground || nd.c.cfg.DisableHelper {
-			return radio.Listen
-		}
-		return nd.actHelper(&nd.bg, nd.c.bgs, nd.c.coinBg, lt)
-	}
-}
-
-// Recv implements radio.Node.
-func (nd *cnode) Recv(t int64, msg *radio.Message, _ bool) {
-	if msg == nil || msg.Kind != KindICP {
-		return
-	}
-	if msg.A > nd.globalMax {
-		nd.globalMax = msg.A
-		if msg.A == nd.c.trueMax {
-			nd.c.prog.Add(1)
-		}
-	}
-	lane := t % numLanes
-	var st *icpState
-	var fines []fine
-	switch lane {
-	case laneMain, laneHelper:
-		st, fines = &nd.main, nd.c.mains
-	default:
-		st, fines = &nd.bg, nd.c.bgs
-	}
-	f := &fines[st.fid]
-	if f.part.Center[nd.id] != int32(msg.B) || f.part.Dist[nd.id] > f.curtail {
-		return
-	}
-	// In-cluster reception within the curtailment radius: adopt the
-	// cluster flood. During the inward sub-phase the relay gate
-	// (globalMax > floodVal) is evaluated live in actICP, so nothing else
-	// is needed here.
-	if st.subphase != 1 || lane == laneHelper || lane == laneBgHelper {
-		st.heard = true
-		if msg.A > st.floodVal {
-			st.floodVal = msg.A
-		}
-	}
-}
-
-// actICP advances one lane-local round of Intra-Cluster Propagation
-// (Algorithm 3) and returns the node's action.
-func (nd *cnode) actICP(st *icpState, fines []fine, isMain bool) radio.Action {
-	f := &fines[st.fid]
-	// Slot and sub-phase boundaries.
-	if st.offset == 0 || st.offset == 2*f.subLen {
-		// Outward sub-phase begins: only the center holds the flood.
-		st.heard = false
-		st.floodVal = Uninformed
-		if f.part.Center[nd.id] == nd.id {
-			st.heard = true
-			st.floodVal = nd.globalMax
-		}
-	}
-	st.subphase = int8(st.offset / f.subLen)
-
-	action := radio.Listen
-	dist := f.part.Dist[nd.id]
-	if dist <= f.curtail {
-		level := f.sched.Levels[nd.id]
-		switch st.subphase {
-		case 0, 2: // outward flood of the center's value
-			if st.heard && nd.rnd.Bernoulli(schedule.Prob(level, st.offset%f.subLen)) {
-				action = radio.Transmit(radio.Message{
-					Kind: KindICP, A: st.floodVal, B: int64(f.part.Center[nd.id]),
-				})
-			}
-		case 1: // inward flood of any higher message toward the center
-			if st.heard && nd.globalMax > st.floodVal &&
-				nd.rnd.Bernoulli(schedule.Prob(level, st.offset%f.subLen)) {
-				action = radio.Transmit(radio.Message{
-					Kind: KindICP, A: nd.globalMax, B: int64(f.part.Center[nd.id]),
-				})
-			}
-		}
-	}
-
-	// Advance the lane clock; roll into the next clustering slot at the
-	// end of this one.
-	st.offset++
-	if st.offset >= f.slotLen {
-		st.offset = 0
-		st.k++
-		if isMain {
-			st.fid = nd.c.mainFid(nd.id, st.k)
-		} else {
-			st.fid = nd.c.bgFid(st.k)
-		}
-	}
-	return action
-}
-
-// actHelper advances one lane-local round of the Algorithm-4 background
-// process for the companion lane's current clustering: time is divided
-// into Decay phases of length l4; in the i-th phase of each cycle the
-// node's cluster participates with (cluster-shared) probability 2^-i, and
-// a participating cluster performs one round of Decay announcing its flood
-// value, repairing border nodes that collisions starve in the main lane.
-func (nd *cnode) actHelper(st *icpState, fines []fine, coinSeed uint64, lt int64) radio.Action {
-	if !st.heard {
-		return radio.Listen
-	}
-	f := &fines[st.fid]
-	if f.part.Dist[nd.id] > f.curtail {
-		return radio.Listen
-	}
-	l4 := int64(nd.c.l4)
-	window := lt / l4
-	step := int(lt % l4)
-	i := int(window%l4) + 1
-	p := decay.Prob(i - 1) // 2^-i, shift-clamped for large phase lengths
-	center := f.part.Center[nd.id]
-	if rng.HashFloat(coinSeed, uint64(st.fid), uint64(center), uint64(window)) >= p {
-		return radio.Listen // cluster sat this Decay phase out
-	}
-	if nd.rnd.Bernoulli(decay.Prob(step)) {
-		return radio.Transmit(radio.Message{
-			Kind: KindICP, A: st.floodVal, B: int64(center),
-		})
-	}
-	return radio.Listen
-}
-
-var _ radio.Node = (*cnode)(nil)

@@ -18,7 +18,13 @@ type Broadcast struct {
 
 // NewBroadcast builds a broadcast of value from source src on g.
 func NewBroadcast(g *graph.Graph, d int, cfg Config, seed uint64, src int, value int64) (*Broadcast, error) {
-	c, err := New(g, d, cfg, seed, map[int]int64{src: value})
+	return NewBroadcastPre(NewPre(g, d, cfg), seed, src, value)
+}
+
+// NewBroadcastPre is NewBroadcast with the seed-independent
+// precomputation supplied externally (see NewWithPre).
+func NewBroadcastPre(pre *Pre, seed uint64, src int, value int64) (*Broadcast, error) {
+	c, err := NewWithPre(pre, seed, map[int]int64{src: value})
 	if err != nil {
 		return nil, err
 	}
@@ -62,6 +68,14 @@ func (c LeaderConfig) withDefaults() LeaderConfig {
 // redrawn with a salted seed; the deviation is measurement-neutral since
 // the paper's analysis conditions on |C| = Θ(log n) with unique IDs.
 func NewLeaderElection(g *graph.Graph, d int, cfg LeaderConfig, seed uint64) (*LeaderElection, error) {
+	return NewLeaderElectionPre(NewPre(g, d, cfg.Config), cfg, seed)
+}
+
+// NewLeaderElectionPre is NewLeaderElection with the seed-independent
+// precomputation supplied externally: pre must come from
+// NewPre(g, d, cfg.Config) (see NewWithPre).
+func NewLeaderElectionPre(pre *Pre, cfg LeaderConfig, seed uint64) (*LeaderElection, error) {
+	g := pre.g
 	if g.N() == 0 {
 		return nil, errors.New("compete: empty graph")
 	}
@@ -100,7 +114,7 @@ func NewLeaderElection(g *graph.Graph, d int, cfg LeaderConfig, seed uint64) (*L
 		}
 	}
 
-	c, err := New(g, d, cfg.Config, seed, candidates)
+	c, err := NewWithPre(pre, seed, candidates)
 	if err != nil {
 		return nil, err
 	}

@@ -228,10 +228,11 @@ func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64
 	b.tr.prog.Add(atMax)
 	b.Engine = radio.NewEngine(g, rn)
 	if cfg.Wrap == nil {
-		// All engine nodes are exactly &b.nodes[i], so the bulk Act fast
-		// path is observationally identical; a Wrap hook interposes
-		// per-node behavior and disables it.
+		// All engine nodes are exactly &b.nodes[i], so the bulk Act and
+		// Recv fast paths are observationally identical; a Wrap hook
+		// interposes per-node behavior and disables them.
 		b.Engine.Bulk = b
+		b.Engine.BulkRecv = b
 	}
 	return b
 }
@@ -260,6 +261,16 @@ func (b *Broadcast) ActBulk(t int64, tx []int32, msgs []radio.Message) ([]int32,
 		}
 	}
 	return tx, msgs
+}
+
+// RecvBulk implements radio.BulkReceiver: one pass over the round's
+// deliveries. The per-listener call is node.Recv itself — static dispatch
+// on the concrete type, so the seam removes the interface dispatches
+// without duplicating the delivery logic.
+func (b *Broadcast) RecvBulk(t int64, listeners, msgIdx []int32, msgs []radio.Message) {
+	for k, vi := range listeners {
+		b.nodes[vi].Recv(t, &msgs[msgIdx[k]], false)
+	}
 }
 
 // Done reports whether every node knows the maximum source value. O(1):

@@ -103,6 +103,59 @@ func TestDoneMatchesFullScanEveryRound(t *testing.T) {
 	}
 }
 
+// The bulk path (ActBulk + RecvBulk) must match the wrapped per-node path
+// round for round: same transmitter sets and delivery/collision counts in
+// every round, not just at completion.
+func TestBulkMatchesPerNodeRoundForRound(t *testing.T) {
+	identity := func(_ int, n radio.Node) radio.Node { return n }
+	for seed := uint64(1); seed <= 3; seed++ {
+		for gi, g := range equivalenceGraphs(seed) {
+			sources := map[int]int64{0: 9}
+			if gi%2 == 1 {
+				sources = map[int]int64{0: 5, g.N() / 2: 9}
+			}
+			bb := NewBroadcast(g, Config{}, seed, sources)
+			pb := NewBroadcast(g, Config{Wrap: identity}, seed, sources)
+			if bb.Engine.Bulk == nil || bb.Engine.BulkRecv == nil {
+				t.Fatal("bulk seams not installed on the unwrapped path")
+			}
+			if pb.Engine.Bulk != nil || pb.Engine.BulkRecv != nil {
+				t.Fatal("bulk seams installed despite Wrap")
+			}
+			type round struct {
+				tx         []int32
+				deliveries int
+				collisions int
+			}
+			var bl, pl round
+			bb.Engine.Hook = func(_ int64, tx []int32, d, c int) {
+				bl = round{append([]int32(nil), tx...), d, c}
+			}
+			pb.Engine.Hook = func(_ int64, tx []int32, d, c int) {
+				pl = round{append([]int32(nil), tx...), d, c}
+			}
+			for r := 0; r < 1<<14 && !(bb.Done() && pb.Done()); r++ {
+				bb.Engine.Step()
+				pb.Engine.Step()
+				if bl.deliveries != pl.deliveries || bl.collisions != pl.collisions || len(bl.tx) != len(pl.tx) {
+					t.Fatalf("%s seed=%d round %d: bulk (%d tx, %d/%d) vs per-node (%d tx, %d/%d)",
+						g, seed, r, len(bl.tx), bl.deliveries, bl.collisions,
+						len(pl.tx), pl.deliveries, pl.collisions)
+				}
+				for i := range bl.tx {
+					if bl.tx[i] != pl.tx[i] {
+						t.Fatalf("%s seed=%d round %d: transmitter %d differs: %d vs %d",
+							g, seed, r, i, bl.tx[i], pl.tx[i])
+					}
+				}
+			}
+			if !bb.Done() || !pb.Done() {
+				t.Fatalf("%s seed=%d: broadcast incomplete", g, seed)
+			}
+		}
+	}
+}
+
 // The wrapped per-node path and the bulk path must stay bit-identical:
 // same completion round, same metrics, same final values.
 func TestBulkAndPerNodePathsIdentical(t *testing.T) {

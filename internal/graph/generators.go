@@ -3,7 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"radionet/internal/rng"
 )
@@ -363,6 +363,6 @@ func (g *Graph) SortedDegrees() []int {
 	for v := range ds {
 		ds[v] = g.Degree(v)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	slices.SortFunc(ds, func(a, b int) int { return b - a })
 	return ds
 }

@@ -11,6 +11,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -114,11 +115,16 @@ func (b *Builder) AddEdge(u, v int) {
 
 // Build finalizes the graph. The builder may not be reused afterwards.
 func (b *Builder) Build() *Graph {
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
+	// slices.SortFunc compiles a concrete comparison instead of sort.Slice's
+	// reflection-based swaps — see BenchmarkBuilderBuild for the effect at
+	// n = 10^5. Neither sort is stable, but equal elements here are
+	// identical [2]int32 values, so any order among them builds the same
+	// graph.
+	slices.SortFunc(b.edges, func(x, y [2]int32) int {
+		if x[0] != y[0] {
+			return int(x[0]) - int(y[0])
 		}
-		return b.edges[i][1] < b.edges[j][1]
+		return int(x[1]) - int(y[1])
 	})
 	// Deduplicate in place.
 	uniq := b.edges[:0]
@@ -158,7 +164,7 @@ func (b *Builder) Build() *Graph {
 		nb := g.adj[g.off[v]:g.off[v+1]]
 		for i := 1; i < len(nb); i++ {
 			if nb[i-1] > nb[i] {
-				sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+				slices.Sort(nb)
 				break
 			}
 		}

@@ -146,6 +146,31 @@ type BulkActor interface {
 	ActBulk(round int64, tx []int32, msgs []Message) ([]int32, []Message)
 }
 
+// BulkReceiver is the Recv-side counterpart of BulkActor: one call delivers
+// the whole round's successful receptions, replacing per-listener interface
+// dispatches with a loop the protocol runs over its own contiguous node
+// storage. Only deliveries travel through the seam — collision reports
+// (when collision detection is enabled) and nothing-heard reports (for
+// nodes that do not ignore silence) stay on the per-node Recv path, so a
+// node is handed to at most one of the two paths per round.
+//
+// The implementation MUST be observationally identical to calling
+// Recv(round, &msgs[msgIdx[k]], false) on each listeners[k] in slice order;
+// like the engine's sparse listener pass, the seam assumes per-listener
+// effects are node-local (no protocol draws randomness or touches another
+// node's state in Recv). A protocol installs it via Engine.BulkRecv only
+// when it owns every engine node — wrapped/fault-injected nodes keep the
+// existing per-node path, so constructors leave BulkRecv nil whenever a
+// Wrap hook is set. The engine re-queries Sleeper dormancy for delivered
+// nodes after the call, preserving the wake-up contract.
+type BulkReceiver interface {
+	// RecvBulk delivers this round's receptions: for each k, node
+	// listeners[k] heard msgs[msgIdx[k]]. All three slices are engine
+	// scratch, valid only for the duration of the call; messages are
+	// shared between listeners and must be treated as read-only.
+	RecvBulk(round int64, listeners, msgIdx []int32, msgs []Message)
+}
+
 // Engine executes a protocol on a graph under the radio collision model.
 type Engine struct {
 	G     *graph.Graph
@@ -158,6 +183,9 @@ type Engine struct {
 	Hook RoundHook
 	// Bulk, if non-nil, replaces the per-node Act loop (see BulkActor).
 	Bulk BulkActor
+	// BulkRecv, if non-nil, replaces per-node delivery Recv calls in both
+	// listener passes (see BulkReceiver).
+	BulkRecv BulkReceiver
 
 	Metrics Metrics
 
@@ -169,6 +197,8 @@ type Engine struct {
 	txmsg    []Message // scratch: messages of transmitting nodes, parallel to transmit
 	transmit []int32   // scratch: ids of transmitting nodes
 	stamped  []int32   // scratch: nodes with >= 1 transmitting neighbor
+	rcvID    []int32   // scratch: this round's bulk-delivery listeners
+	rcvIdx   []int32   // scratch: txmsg index heard by each bulk listener
 	sleeper  []Sleeper // nil for nodes without the Sleeper extension
 	dormant  []bool    // engine-cached Dormant() state
 	quiet    []bool    // engine-cached IgnoresSilence() state
@@ -192,6 +222,8 @@ func NewEngine(g *graph.Graph, nodes []Node) *Engine {
 		txmsg:    make([]Message, 0, n),
 		transmit: make([]int32, 0, n),
 		stamped:  make([]int32, 0, n),
+		// rcvID/rcvIdx (bulk-delivery scratch) grow on first use: most
+		// engines never install BulkRecv and should not carry the buffers.
 		sleeper:  make([]Sleeper, n),
 		dormant:  make([]bool, n),
 		quiet:    make([]bool, n),
@@ -266,6 +298,11 @@ func (e *Engine) Step() {
 		}
 	}
 	deliveries, collisions := 0, 0
+	bulkRecv := e.BulkRecv != nil
+	if bulkRecv {
+		e.rcvID = e.rcvID[:0]
+		e.rcvIdx = e.rcvIdx[:0]
+	}
 	if e.allQuiet {
 		// Sparse listener pass: every node ignores silence, so only nodes
 		// with a transmitting neighbor need a Recv call. Per-node outcomes
@@ -278,9 +315,21 @@ func (e *Engine) Step() {
 			}
 			if e.hits[i] == 1 {
 				deliveries++
+				if bulkRecv {
+					e.rcvID = append(e.rcvID, vi)
+					e.rcvIdx = append(e.rcvIdx, e.inbox[i])
+					continue
+				}
 				e.Nodes[i].Recv(t, &e.txmsg[e.inbox[i]], false)
 			} else {
 				collisions++
+				if bulkRecv && !e.CollisionDetection {
+					// Recv(t, nil, false) is a no-op by the node's
+					// SilenceOblivious promise (which every node of this
+					// pass made), and a dormant node stays dormant without
+					// a reception, so the call is skipped entirely.
+					continue
+				}
 				e.Nodes[i].Recv(t, nil, e.CollisionDetection)
 			}
 			if e.dormant[i] {
@@ -299,6 +348,11 @@ func (e *Engine) Step() {
 			switch {
 			case onAir && e.hits[i] == 1:
 				deliveries++
+				if bulkRecv {
+					e.rcvID = append(e.rcvID, int32(i))
+					e.rcvIdx = append(e.rcvIdx, e.inbox[i])
+					continue
+				}
 				nd.Recv(t, &e.txmsg[e.inbox[i]], false)
 			case onAir:
 				collisions++
@@ -308,6 +362,14 @@ func (e *Engine) Step() {
 			}
 			if e.dormant[i] {
 				e.dormant[i] = e.sleeper[i].Dormant()
+			}
+		}
+	}
+	if bulkRecv && len(e.rcvID) > 0 {
+		e.BulkRecv.RecvBulk(t, e.rcvID, e.rcvIdx, e.txmsg)
+		for _, vi := range e.rcvID {
+			if e.dormant[vi] {
+				e.dormant[vi] = e.sleeper[vi].Dormant()
 			}
 		}
 	}

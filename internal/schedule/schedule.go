@@ -48,12 +48,23 @@ type Schedule struct {
 
 // Build computes the schedule for a clustering of g.
 func Build(g *graph.Graph, part *cluster.Result) *Schedule {
+	return BuildScratch(g, part, nil)
+}
+
+// BuildScratch is Build with a reusable contention buffer of len >= g.N()
+// (its contents are ignored and overwritten); pass nil to allocate. The
+// result is identical for every buffer — the scratch only recycles memory.
+func BuildScratch(g *graph.Graph, part *cluster.Result, maxCont []int32) *Schedule {
 	n := g.N()
-	// Worst in-cluster contention per cluster.
-	maxCont := make(map[int32]int, 16)
+	if len(maxCont) < n {
+		maxCont = make([]int32, n)
+	} else {
+		clear(maxCont[:n])
+	}
+	// Worst in-cluster contention per cluster, indexed by center id.
 	for x := 0; x < n; x++ {
 		cx := part.Center[x]
-		cont := 0
+		cont := int32(0)
 		for _, w := range g.Neighbors(x) {
 			if part.Center[w] == cx {
 				cont++
@@ -66,7 +77,7 @@ func Build(g *graph.Graph, part *cluster.Result) *Schedule {
 	levels := make([]int32, n)
 	maxLevel := 1
 	for v := 0; v < n; v++ {
-		l := ladder(maxCont[part.Center[v]])
+		l := ladder(int(maxCont[part.Center[v]]))
 		levels[v] = int32(l)
 		if l > maxLevel {
 			maxLevel = l

@@ -2,7 +2,7 @@ package stats
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Running is a mergeable single-pass summary of a stream of observations.
@@ -114,7 +114,7 @@ func (r *Running) Summary() Summary {
 		return Summary{}
 	}
 	ys := append([]float64(nil), r.vals...)
-	sort.Float64s(ys)
+	slices.Sort(ys)
 	return Summary{
 		N:    r.n,
 		Mean: r.Mean(),

@@ -6,7 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Mean returns the arithmetic mean of xs (0 for empty input).
@@ -42,7 +42,7 @@ func Quantile(xs []float64, q float64) float64 {
 		panic("stats: Quantile of empty slice")
 	}
 	ys := append([]float64(nil), xs...)
-	sort.Float64s(ys)
+	slices.Sort(ys)
 	return quantileSorted(ys, q)
 }
 
@@ -92,7 +92,7 @@ func Summarize(xs []float64) Summary {
 		return Summary{}
 	}
 	ys := append([]float64(nil), xs...)
-	sort.Float64s(ys)
+	slices.Sort(ys)
 	return Summary{
 		N:    len(xs),
 		Mean: Mean(xs),
