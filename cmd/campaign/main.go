@@ -15,6 +15,9 @@
 //	campaign -config matrix.json -workers 4 -format csv
 //	campaign -preset large-n-broadcast -seeds 5
 //	campaign -preset large-n-broadcast -cpuprofile cpu.prof -memprofile mem.prof
+//	campaign -preset faults -format jsonl
+//	campaign -topos grid:16x16 -algos cd17,bgi \
+//	         -faults none,crash:0.3@50,jam:0.05:p0.2,loss:0.1 -seeds 10
 package main
 
 import (
@@ -40,6 +43,7 @@ func run() error {
 		topos   = flag.String("topos", "", "comma-separated topology specs, e.g. grid:16x16,path:256,gnp:400:0.01")
 		task    = flag.String("task", "broadcast", "default task for unqualified -algos entries: broadcast|leader")
 		algos   = flag.String("algos", "", "comma-separated algorithms, optionally task-qualified, e.g. cd17,bgi or leader:cd17")
+		faults  = flag.String("faults", "", "comma-separated fault specs crossed with every cell, e.g. none,crash:0.3@50,jam:0.05:p0.2,loss:0.1 ('+'-join terms to compose)")
 		seeds   = flag.Int("seeds", 10, "independent trials per configuration")
 		seed    = flag.Uint64("seed", 1, "master seed")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -93,6 +97,9 @@ func run() error {
 	if *topos != "" {
 		m.Topologies = splitList(*topos)
 	}
+	if *faults != "" {
+		m.Faults = splitList(*faults)
+	}
 	if *algos != "" {
 		specs, err := parseAlgos(*algos, campaign.Task(*task))
 		if err != nil {
@@ -104,7 +111,7 @@ func run() error {
 		return fmt.Errorf("no matrix: provide -topos and -algos, or -config (see -h)")
 	}
 
-	sink, err := campaign.NewSink(*format, os.Stdout)
+	sink, err := campaign.NewSink(*format, os.Stdout, m.SinkSchema(*timings))
 	if err != nil {
 		return err
 	}

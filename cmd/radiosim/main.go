@@ -48,10 +48,23 @@ func run() error {
 		source   = flag.Int("source", 0, "broadcast source node")
 		max      = flag.Int64("maxrounds", 0, "round budget (0 = algorithm default)")
 		doTrace  = flag.Bool("trace", false, "print a channel activity report after the run")
+		faults   = flag.String("faults", "", "fault scenario spec for broadcast runs, e.g. crash:0.3@50+jam:0.05:p0.2 (campaign grammar)")
 		trials   = flag.Int("trials", 1, "independent runs of the scenario (each with a seed derived from -seed)")
 		workers  = flag.Int("workers", 0, "worker goroutines for -trials fan-out (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	var faultSpec campaign.FaultSpec
+	if *faults != "" {
+		fs, err := campaign.ParseFaultSpec(*faults)
+		if err != nil {
+			return err
+		}
+		if *task != "broadcast" {
+			return fmt.Errorf("-faults supports -task broadcast only")
+		}
+		faultSpec = fs
+	}
 
 	var g *radionet.Graph
 	switch *topology {
@@ -83,7 +96,7 @@ func run() error {
 		if *doTrace {
 			return fmt.Errorf("-trace requires a single run (drop -trials)")
 		}
-		return runTrials(net, *task, *algo, *seed, *value, *source, *max, *trials, *workers)
+		return runTrials(net, *task, *algo, faultSpec, *seed, *value, *source, *max, *trials, *workers)
 	}
 
 	switch *task {
@@ -93,6 +106,7 @@ func run() error {
 			Algorithm: radionet.Algorithm(*algo),
 			Seed:      *seed,
 			MaxRounds: *max,
+			Faults:    faultPlan(net, faultSpec, *seed, *source),
 		}
 		if *doTrace {
 			rec = &trace.Recorder{}
@@ -104,6 +118,10 @@ func run() error {
 		}
 		fmt.Printf("broadcast(%s): done=%v rounds=%d precompute=%d\n",
 			*algo, res.Done, res.Rounds, res.PrecomputeRounds)
+		if opts.Faults != nil {
+			fmt.Printf("faults(%s): survivors=%d reach=%d/%d\n",
+				faultSpec.Spec, opts.Faults.Survivors(), res.Reached, res.ReachTarget)
+		}
 		if rec != nil {
 			if err := rec.Report(os.Stdout); err != nil {
 				return err
@@ -132,11 +150,19 @@ func run() error {
 	return nil
 }
 
+// faultPlan realizes fs on the network for one run seeded by seed,
+// protecting the broadcast source (the campaign convention). Returns nil
+// for the unfaulted spec; each run needs its own plan (plans are
+// single-use).
+func faultPlan(net *radionet.Network, fs campaign.FaultSpec, seed uint64, source int) *radionet.FaultPlan {
+	return fs.TrialPlan(net.G, seed, source)
+}
+
 // runTrials is the -trials fan-out mode: n independent runs of the same
 // scenario across the campaign worker pool, each with its own RNG stream
 // derived from the master seed, reduced to aggregate round statistics.
 // Output is identical for every -workers value.
-func runTrials(net *radionet.Network, task, algo string, seed uint64, value int64, source int, max int64, trials, workers int) error {
+func runTrials(net *radionet.Network, task, algo string, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, trials, workers int) error {
 	seeds := rng.New(seed).Fork(0x7215)
 	rounds := make([]float64, trials)
 	failed := make([]bool, trials)
@@ -153,6 +179,7 @@ func runTrials(net *radionet.Network, task, algo string, seed uint64, value int6
 				Algorithm: radionet.Algorithm(algo),
 				Seed:      trialSeed,
 				MaxRounds: max,
+				Faults:    faultPlan(net, fs, trialSeed, source),
 			})
 		case "leader":
 			var lr radionet.LeaderResult

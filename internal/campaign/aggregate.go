@@ -41,6 +41,16 @@ type ConfigSummary struct {
 	// WallMS is present only when the campaign ran with Timings: wall
 	// time is non-deterministic and would break byte-identical output.
 	WallMS *Dist `json:"wall_ms,omitempty"`
+	// Fault-axis fields, present only when the configuration sits on a
+	// fault axis (Matrix.Faults) so unfaulted campaign output stays
+	// byte-identical: the fault spec, the distribution of never-crashing
+	// node counts, the distribution of per-trial reach fractions
+	// (reached / survivor-scoped target; 1.0 exactly when the trial
+	// completed), and failed-trial counts keyed by reason.
+	Faults      string         `json:"faults,omitempty"`
+	Survivors   *Dist          `json:"survivors,omitempty"`
+	Reach       *Dist          `json:"reach,omitempty"`
+	FailReasons map[string]int `json:"fail_reasons,omitempty"`
 }
 
 // summarize aggregates configuration ci from the per-trial result slice.
@@ -48,7 +58,9 @@ type ConfigSummary struct {
 // floating-point reductions are identical for every worker count.
 func summarize(p *Plan, ci int, results []TrialResult, timings bool) ConfigSummary {
 	cfg := &p.Configs[ci]
-	var rounds, tx, wall stats.Running
+	faulted := cfg.Fault.Spec != ""
+	var rounds, tx, wall, surv, reach stats.Running
+	var reasons map[string]int
 	failures := 0
 	base := ci * p.Seeds
 	for rep := 0; rep < p.Seeds; rep++ {
@@ -59,6 +71,24 @@ func summarize(p *Plan, ci int, results []TrialResult, timings bool) ConfigSumma
 		rounds.Add(float64(r.Rounds))
 		tx.Add(float64(r.Tx))
 		wall.Add(float64(r.Wall.Nanoseconds()) / 1e6)
+		if faulted {
+			surv.Add(float64(r.Survivors))
+			f := 1.0
+			if r.ReachTarget > 0 {
+				f = float64(r.Reached) / float64(r.ReachTarget)
+			}
+			reach.Add(f)
+			if !r.Done {
+				if reasons == nil {
+					reasons = map[string]int{}
+				}
+				reason := r.Reason
+				if reason == "" {
+					reason = "budget"
+				}
+				reasons[reason]++
+			}
+		}
 	}
 	s := ConfigSummary{
 		Topology: cfg.Topology,
@@ -74,6 +104,12 @@ func summarize(p *Plan, ci int, results []TrialResult, timings bool) ConfigSumma
 	if timings {
 		w := distOf(&wall)
 		s.WallMS = &w
+	}
+	if faulted {
+		sv, rc := distOf(&surv), distOf(&reach)
+		s.Faults = cfg.Fault.Spec
+		s.Survivors, s.Reach = &sv, &rc
+		s.FailReasons = reasons
 	}
 	return s
 }

@@ -54,6 +54,13 @@ type Matrix struct {
 	Topologies []string `json:"topologies"`
 	// Algorithms are the (task, algorithm) pairs to run on every topology.
 	Algorithms []AlgoSpec `json:"algorithms"`
+	// Faults are fault-scenario specs (see ParseFaultSpec) crossed with
+	// every (topology, algorithm) cell: each spec becomes its own
+	// configuration, realized per trial with deterministic fault-site
+	// selection. Empty means unfaulted (and keeps the expansion, trial
+	// seeds and output byte-identical to a pre-fault-axis campaign). The
+	// axis supports broadcast tasks only.
+	Faults []string `json:"faults,omitempty"`
 	// Seeds is the number of independent trials per configuration.
 	Seeds int `json:"seeds"`
 	// MasterSeed determines every random choice of the campaign: topology
@@ -74,12 +81,16 @@ func LoadMatrix(r io.Reader) (Matrix, error) {
 	return m, nil
 }
 
-// Config is one expanded (topology, task, algorithm) cell of the matrix.
+// Config is one expanded (topology, task, algorithm, fault) cell of the
+// matrix.
 type Config struct {
 	Topology string // canonical topology spec
 	G        *graph.Graph
 	D        int // estimated hop diameter, as the model assumes known
 	Spec     AlgoSpec
+	// Fault is the cell's fault scenario; the zero value (Spec "") marks a
+	// campaign without a fault axis.
+	Fault FaultSpec
 }
 
 // Trial is one scheduled protocol run.
@@ -122,6 +133,25 @@ func (m Matrix) Expand() (*Plan, error) {
 			return nil, err
 		}
 	}
+	// The fault axis: one FaultSpec per configuration. An empty axis
+	// expands to the single zero spec, leaving configuration indices (and
+	// hence trial seeds) identical to a matrix without the axis.
+	faults := []FaultSpec{{}}
+	if len(m.Faults) > 0 {
+		faults = faults[:0]
+		for _, s := range m.Faults {
+			fs, err := ParseFaultSpec(s)
+			if err != nil {
+				return nil, err
+			}
+			faults = append(faults, fs)
+		}
+		for _, a := range m.Algorithms {
+			if a.Task != Broadcast {
+				return nil, fmt.Errorf("campaign: fault axis supports broadcast tasks only (got %s); the leader-election composites run internal broadcasts the overlay cannot reach yet", a)
+			}
+		}
+	}
 	p := &Plan{Seeds: m.Seeds, Max: m.MaxRounds}
 	// Two disjoint stream families derived from the master seed: one per
 	// topology (graph generation), one per trial. Fork's SplitMix64-based
@@ -137,7 +167,9 @@ func (m Matrix) Expand() (*Plan, error) {
 		g := topo.Build(topoStreams.Fork(uint64(ti)).Uint64())
 		d := g.DiameterEstimate()
 		for _, a := range m.Algorithms {
-			p.Configs = append(p.Configs, Config{Topology: topo.Spec, G: g, D: d, Spec: a})
+			for _, fs := range faults {
+				p.Configs = append(p.Configs, Config{Topology: topo.Spec, G: g, D: d, Spec: a, Fault: fs})
+			}
 		}
 	}
 	for ci := range p.Configs {

@@ -84,7 +84,7 @@ func runToBuffers(t *testing.T, c Campaign) map[string]string {
 	for _, f := range []string{"text", "csv", "jsonl"} {
 		buf := &bytes.Buffer{}
 		bufs[f] = buf
-		s, err := NewSink(f, buf)
+		s, err := NewSink(f, buf, c.Matrix.SinkSchema(c.Timings))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,7 +148,7 @@ func TestCampaignLeaderTaskAndTimings(t *testing.T) {
 		Timings: true,
 	}
 	var buf bytes.Buffer
-	s, _ := NewSink("jsonl", &buf)
+	s, _ := NewSink("jsonl", &buf, c.Matrix.SinkSchema(true))
 	sums, err := c.Run(s)
 	if err != nil {
 		t.Fatal(err)

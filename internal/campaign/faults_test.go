@@ -1,0 +1,207 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	good := []struct {
+		in   string
+		want FaultSpec
+	}{
+		{"none", FaultSpec{Spec: "none"}},
+		{"crash:0.3@50", FaultSpec{Spec: "crash:0.3@50", CrashFrac: 0.3, CrashRound: 50}},
+		{"jam:0.05:p0.2", FaultSpec{Spec: "jam:0.05:p0.2", JamFrac: 0.05, JamP: 0.2}},
+		{"loss:0.1", FaultSpec{Spec: "loss:0.1", LossP: 0.1}},
+		{"crash:0.2@100+loss:0.1", FaultSpec{Spec: "crash:0.2@100+loss:0.1", CrashFrac: 0.2, CrashRound: 100, LossP: 0.1}},
+		{"crash:0.1@0+jam:0.1:p1+loss:1", FaultSpec{Spec: "crash:0.1@0+jam:0.1:p1+loss:1", CrashFrac: 0.1, JamFrac: 0.1, JamP: 1, LossP: 1}},
+	}
+	for _, tc := range good {
+		got, err := ParseFaultSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseFaultSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseFaultSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	bad := []string{
+		"", "crash", "crash:0.3", "crash:1.0@50", "crash:0.3@-1", "crash:x@5",
+		"crash:0@50", "jam:0:p0.5", "crash:0@50+loss:0.1",
+		"jam:0.05", "jam:0.05:0.2", "jam:0.05:p0", "jam:0.05:p1.5",
+		"loss:0", "loss:1.2", "loss:x", "fire:0.3", "crash:0.1@5+crash:0.1@9",
+		"loss:0.1+loss:0.2", "none+loss:0.1",
+	}
+	for _, in := range bad {
+		if _, err := ParseFaultSpec(in); err == nil {
+			t.Errorf("ParseFaultSpec(%q) accepted", in)
+		}
+	}
+}
+
+func TestFaultSpecPlanDeterministicAndProtected(t *testing.T) {
+	topo, _ := ParseTopology("grid:6x6")
+	g := topo.Build(1)
+	fs, err := ParseFaultSpec("crash:0.3@50+jam:0.1:p0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := fs.Plan(g, 99, 0)
+	p2 := fs.Plan(g, 99, 0)
+	for v := 0; v < g.N(); v++ {
+		if p1.CrashRound(v) != p2.CrashRound(v) {
+			t.Fatalf("crash sites not deterministic at node %d", v)
+		}
+	}
+	if !p1.Alive(0) {
+		t.Fatal("protected source was crashed")
+	}
+	if got, want := g.N()-p1.Survivors(), int(0.3*float64(g.N())); got != want {
+		t.Fatalf("%d crash sites, want %d", got, want)
+	}
+	if p3 := fs.Plan(g, 100, 0); func() bool {
+		for v := 0; v < g.N(); v++ {
+			if p1.CrashRound(v) != p3.CrashRound(v) {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds chose identical crash sites (suspicious)")
+	}
+	var none FaultSpec
+	if none.Plan(g, 1) != nil {
+		t.Fatal("unfaulted spec built a plan")
+	}
+}
+
+// TestFaultedCampaign runs a crash campaign end to end: every
+// configuration terminates (no budget exhaustion — the bug this PR fixes),
+// reach is 1.0 over survivors, fault aggregates are present, and output is
+// byte-identical across worker counts.
+func TestFaultedCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full protocol trials")
+	}
+	m := Matrix{
+		Topologies: []string{"grid:6x6", "cliquepath:4x4"},
+		Algorithms: []AlgoSpec{
+			{Task: Broadcast, Algo: "cd17"},
+			{Task: Broadcast, Algo: "bgi"},
+		},
+		Faults:     []string{"none", "crash:0.3@50"},
+		Seeds:      3,
+		MasterSeed: 5,
+	}
+	run := func(workers int) ([]ConfigSummary, string) {
+		var buf bytes.Buffer
+		s, err := NewSink("jsonl", &buf, m.SinkSchema(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums, err := (&Campaign{Matrix: m, Workers: workers}).Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums, buf.String()
+	}
+	sums, out1 := run(1)
+	_, out8 := run(8)
+	if out1 != out8 {
+		t.Errorf("faulted campaign output differs between 1 and 8 workers:\n%s\nvs\n%s", out1, out8)
+	}
+	if len(sums) != 8 {
+		t.Fatalf("%d summaries, want 8 (2 topos x 2 algos x 2 faults)", len(sums))
+	}
+	for _, s := range sums {
+		if s.Failures != 0 {
+			t.Errorf("%s %s %s: %d failed trials (faulted runs must terminate): %+v",
+				s.Topology, s.Algo, s.Faults, s.Failures, s.FailReasons)
+		}
+		if s.Faults == "" || s.Survivors == nil || s.Reach == nil {
+			t.Errorf("%s %s: fault aggregates missing: %+v", s.Topology, s.Algo, s)
+			continue
+		}
+		if s.Reach.Mean != 1 {
+			t.Errorf("%s %s %s: reach %.3f, want 1.0 over survivors", s.Topology, s.Algo, s.Faults, s.Reach.Mean)
+		}
+		wantSurv := float64(s.N)
+		if s.Faults == "crash:0.3@50" {
+			wantSurv = float64(s.N - int(0.3*float64(s.N)))
+		}
+		if s.Survivors.Mean != wantSurv {
+			t.Errorf("%s %s %s: survivors %.1f, want %.1f", s.Topology, s.Algo, s.Faults, s.Survivors.Mean, wantSurv)
+		}
+	}
+	if !strings.Contains(out1, `"faults":"crash:0.3@50"`) {
+		t.Errorf("jsonl missing fault spec:\n%s", out1)
+	}
+}
+
+func TestFaultAxisRejectsLeaderTasks(t *testing.T) {
+	m := Matrix{
+		Topologies: []string{"path:8"},
+		Algorithms: []AlgoSpec{{Task: Leader, Algo: "cd17"}},
+		Faults:     []string{"crash:0.3@50"},
+		Seeds:      1,
+	}
+	if _, err := m.Expand(); err == nil {
+		t.Fatal("fault axis accepted a leader task")
+	}
+	m.Faults = []string{"not-a-spec"}
+	m.Algorithms = []AlgoSpec{{Task: Broadcast, Algo: "bgi"}}
+	if _, err := m.Expand(); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}
+
+// TestSinkSchemaStableUnderMixedSummaries is the satellite-3 regression:
+// the column set is fixed by the campaign-level Schema, so a stream mixing
+// timed/untimed and faulted/unfaulted summaries can never yield rows wider
+// than the header (the old first-summary inference did exactly that).
+func TestSinkSchemaStableUnderMixedSummaries(t *testing.T) {
+	d := Dist{Mean: 1, Std: 0, P50: 1, P90: 1, P99: 1, Max: 1}
+	untimed := ConfigSummary{Topology: "path:4", N: 4, D: 3, Task: "broadcast", Algo: "bgi", Trials: 1, Rounds: d, Tx: d}
+	timed := untimed
+	timed.WallMS = &d
+	faulted := untimed
+	faulted.Faults = "crash:0.3@50"
+	faulted.Survivors, faulted.Reach = &d, &d
+
+	for _, sch := range []Schema{{}, {Timed: true}, {Faults: true}, {Timed: true, Faults: true}} {
+		wantCols := len(schemaColumns(sch))
+		var csvBuf, txtBuf bytes.Buffer
+		cs, _ := NewSink("csv", &csvBuf, sch)
+		ts, _ := NewSink("text", &txtBuf, sch)
+		for _, s := range []ConfigSummary{untimed, timed, faulted} {
+			if err := cs.Emit(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := ts.Emit(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cs.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.Close(); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(csvBuf.String(), "\n"), "\n")
+		if len(lines) != 4 {
+			t.Fatalf("schema %+v: %d csv lines, want header + 3 rows", sch, len(lines))
+		}
+		for i, l := range lines {
+			if got := len(strings.Split(l, ",")); got != wantCols {
+				t.Errorf("schema %+v: csv line %d has %d columns, header has %d:\n%s", sch, i, got, wantCols, l)
+			}
+		}
+		txtLines := strings.Split(strings.TrimRight(txtBuf.String(), "\n"), "\n")
+		if len(txtLines) != 5 { // header, rule, 3 rows
+			t.Fatalf("schema %+v: %d text lines, want 5", sch, len(txtLines))
+		}
+	}
+}

@@ -16,13 +16,34 @@ type Sink interface {
 	Close() error
 }
 
+// Schema fixes a tabular sink's column set for a whole campaign, up
+// front. It used to be inferred from the first emitted summary, which made
+// mixed streams (timed and untimed, faulted and unfaulted) produce rows
+// wider than the header and silently misaligned tables — the column set is
+// a campaign-level decision, not a per-row one. A summary missing an
+// enabled column's value renders an empty cell; a summary carrying a value
+// the schema excludes has it dropped.
+type Schema struct {
+	// Timed includes the wall-time columns (Campaign.Timings).
+	Timed bool
+	// Faults includes the fault-axis columns (Matrix.Faults non-empty).
+	Faults bool
+}
+
+// SinkSchema returns the Schema matching this matrix and timing choice.
+func (m Matrix) SinkSchema(timed bool) Schema {
+	return Schema{Timed: timed, Faults: len(m.Faults) > 0}
+}
+
 // NewSink returns the sink named by format: "text", "csv" or "jsonl".
-func NewSink(format string, w io.Writer) (Sink, error) {
+// sch fixes the tabular column set (jsonl ignores it: each line carries
+// its own fields).
+func NewSink(format string, w io.Writer, sch Schema) (Sink, error) {
 	switch format {
 	case "text":
-		return &textSink{w: w}, nil
+		return &textSink{w: w, sch: sch, cols: schemaColumns(sch)}, nil
 	case "csv":
-		return &csvSink{w: w}, nil
+		return &csvSink{w: w, sch: sch}, nil
 	case "jsonl":
 		return &jsonlSink{w: w}, nil
 	default:
@@ -33,8 +54,8 @@ func NewSink(format string, w io.Writer) (Sink, error) {
 // num renders a float compactly and deterministically.
 func num(f float64) string { return strconv.FormatFloat(f, 'g', 6, 64) }
 
-// row flattens a summary into column values; wall columns only if timed.
-func (s ConfigSummary) row() []string {
+// row flattens a summary into the schema's column values.
+func (s ConfigSummary) row(sch Schema) []string {
 	r := []string{
 		s.Topology, strconv.Itoa(s.N), strconv.Itoa(s.D), s.Task, s.Algo,
 		strconv.Itoa(s.Trials), strconv.Itoa(s.Failures),
@@ -42,19 +63,33 @@ func (s ConfigSummary) row() []string {
 		num(s.Rounds.P90), num(s.Rounds.P99), num(s.Rounds.Max),
 		num(s.Tx.Mean),
 	}
-	if s.WallMS != nil {
-		r = append(r, num(s.WallMS.Mean), num(s.WallMS.P99))
+	if sch.Faults {
+		if s.Survivors != nil && s.Reach != nil {
+			r = append(r, s.Faults, num(s.Survivors.Mean), num(s.Reach.Mean), num(s.Reach.P50))
+		} else {
+			r = append(r, s.Faults, "", "", "")
+		}
+	}
+	if sch.Timed {
+		if s.WallMS != nil {
+			r = append(r, num(s.WallMS.Mean), num(s.WallMS.P99))
+		} else {
+			r = append(r, "", "")
+		}
 	}
 	return r
 }
 
-func (s ConfigSummary) columns() []string {
+func schemaColumns(sch Schema) []string {
 	c := []string{
 		"topology", "n", "D", "task", "algo", "trials", "fail",
 		"rounds.mean", "rounds.std", "rounds.p50", "rounds.p90",
 		"rounds.p99", "rounds.max", "tx.mean",
 	}
-	if s.WallMS != nil {
+	if sch.Faults {
+		c = append(c, "faults", "surv.mean", "reach.mean", "reach.p50")
+	}
+	if sch.Timed {
 		c = append(c, "ms.mean", "ms.p99")
 	}
 	return c
@@ -63,20 +98,18 @@ func (s ConfigSummary) columns() []string {
 // textSink buffers all rows and writes an aligned table on Close.
 type textSink struct {
 	w    io.Writer
+	sch  Schema
 	cols []string
 	rows [][]string
 }
 
 func (t *textSink) Emit(s ConfigSummary) error {
-	if t.cols == nil {
-		t.cols = s.columns()
-	}
-	t.rows = append(t.rows, s.row())
+	t.rows = append(t.rows, s.row(t.sch))
 	return nil
 }
 
 func (t *textSink) Close() error {
-	if t.cols == nil {
+	if len(t.rows) == 0 {
 		return nil
 	}
 	widths := make([]int, len(t.cols))
@@ -113,17 +146,18 @@ func (t *textSink) Close() error {
 // csvSink writes a header before the first row, then streams.
 type csvSink struct {
 	w     io.Writer
+	sch   Schema
 	wrote bool
 }
 
 func (c *csvSink) Emit(s ConfigSummary) error {
 	if !c.wrote {
 		c.wrote = true
-		if _, err := io.WriteString(c.w, strings.Join(s.columns(), ",")+"\n"); err != nil {
+		if _, err := io.WriteString(c.w, strings.Join(schemaColumns(c.sch), ",")+"\n"); err != nil {
 			return err
 		}
 	}
-	_, err := io.WriteString(c.w, strings.Join(s.row(), ",")+"\n")
+	_, err := io.WriteString(c.w, strings.Join(s.row(c.sch), ",")+"\n")
 	return err
 }
 

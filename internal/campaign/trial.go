@@ -7,6 +7,7 @@ import (
 	"radionet/internal/baseline"
 	"radionet/internal/compete"
 	"radionet/internal/decay"
+	"radionet/internal/radio"
 )
 
 // Broadcast and leader-election algorithm names accepted in AlgoSpec,
@@ -49,6 +50,16 @@ type TrialResult struct {
 	Done bool
 	// Err records a constructor failure; the trial counts as failed.
 	Err string
+	// Reason classifies a failed trial: "" for completed trials, "budget"
+	// when the round budget ran out, "error" on a constructor failure.
+	Reason string
+	// Survivors, Reached and ReachTarget are the fault-axis reach
+	// accounting (zero on campaigns without a fault axis): never-crashing
+	// nodes, nodes that learned the message among the completion target,
+	// and the survivor-scoped completion target itself.
+	Survivors   int
+	Reached     int
+	ReachTarget int
 	// Wall is the measured execution time. It is inherently
 	// non-deterministic and excluded from sink output unless requested.
 	Wall time.Duration
@@ -109,14 +120,41 @@ func RunTrialScratch(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) Tr
 	return res
 }
 
+// trialPlan realizes cfg's fault spec for one trial: fault sites and coin
+// streams derive from the trial seed (deterministic at any worker count),
+// and the broadcast source (node 0) is protected so the completion target
+// never collapses to the empty set.
+func trialPlan(cfg *Config, seed uint64) *radio.FaultPlan {
+	return cfg.Fault.TrialPlan(cfg.G, seed, 0)
+}
+
+// faultResult fills the fault-axis fields of a broadcast trial's result.
+// Campaigns without a fault axis (Fault.Spec == "") leave them zero so
+// their aggregates — and sink bytes — are unchanged.
+func faultResult(res TrialResult, cfg *Config, plan *radio.FaultPlan, reached, target int) TrialResult {
+	if !res.Done {
+		res.Reason = "budget"
+	}
+	if cfg.Fault.Spec == "" {
+		return res
+	}
+	res.Survivors = cfg.G.N()
+	if plan != nil {
+		res.Survivors = plan.Survivors()
+	}
+	res.Reached, res.ReachTarget = reached, target
+	return res
+}
+
 func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResult {
-	fail := func(err error) TrialResult { return TrialResult{Err: err.Error()} }
+	fail := func(err error) TrialResult { return TrialResult{Err: err.Error(), Reason: "error"} }
 	g, d := cfg.G, cfg.D
 	switch cfg.Spec.Task {
 	case Broadcast:
+		plan := trialPlan(cfg, seed)
 		switch cfg.Spec.Algo {
 		case "cd17", "hw16":
-			b, err := compete.NewBroadcastPre(scr.pre, seed, 0, 9)
+			b, err := compete.NewBroadcastPreFaults(scr.pre, seed, 0, 9, plan)
 			if err != nil {
 				return fail(err)
 			}
@@ -125,20 +163,23 @@ func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResu
 				budget = 8 * b.Budget()
 			}
 			rounds, done := b.Run(budget)
-			return TrialResult{Rounds: rounds, Tx: b.Engine.Metrics.Transmissions, Done: done}
+			res := TrialResult{Rounds: rounds, Tx: b.Engine.Metrics.Transmissions, Done: done}
+			return faultResult(res, cfg, plan, b.Reached(), b.ReachTarget())
 		case "bgi", "truncated-decay":
-			var b *decay.Broadcast
-			if cfg.Spec.Algo == "bgi" {
-				b = decay.NewBroadcast(g, decay.Config{}, seed, map[int]int64{0: 9})
-			} else {
-				b = baseline.NewTruncatedDecay(g, d, seed, map[int]int64{0: 9})
+			// truncated-decay is baseline.NewTruncatedDecay, inlined so the
+			// fault plan can ride in the decay Config.
+			dcfg := decay.Config{Faults: plan}
+			if cfg.Spec.Algo == "truncated-decay" {
+				dcfg.Levels = baseline.TruncatedDecayLevels(g.N(), d)
 			}
+			b := decay.NewBroadcast(g, dcfg, seed, map[int]int64{0: 9})
 			budget := maxRounds
 			if budget <= 0 {
 				budget = decayBudget(g.N(), d)
 			}
 			rounds, done := b.Run(budget)
-			return TrialResult{Rounds: rounds, Tx: b.Engine.Metrics.Transmissions, Done: done}
+			res := TrialResult{Rounds: rounds, Tx: b.Engine.Metrics.Transmissions, Done: done}
+			return faultResult(res, cfg, plan, b.Reached(), b.ReachTarget())
 		}
 	case Leader:
 		switch cfg.Spec.Algo {

@@ -340,7 +340,7 @@ func (s *bulkState) recvOne(t int64, v int, msg *radio.Message) {
 	}
 	if msg.A > c.globalMax[v] {
 		c.globalMax[v] = msg.A
-		if msg.A == c.trueMax {
+		if msg.A == c.trueMax && (c.counted == nil || c.counted[v]) {
 			c.prog.Add(1)
 		}
 	}

@@ -202,6 +202,12 @@ type Compete struct {
 	// grows and never exceeds trueMax, so Recv can count the threshold
 	// crossing exactly once per node and Done is O(1).
 	prog radio.Progress
+	// counted is the survivor-scoped completion mask (nil without a fault
+	// plan): only nodes reachable from the surviving sources in the
+	// survivor graph count toward prog — without the scoping, any crashed
+	// node pins Done at false and a faulted run can only exhaust its
+	// budget.
+	counted []bool
 
 	// Contiguous per-node protocol state, shared by the bulk fast path
 	// (bulk.go) and the retained per-node reference implementation
@@ -237,6 +243,20 @@ func New(g *graph.Graph, d int, cfg Config, seed uint64, sources map[int]int64) 
 // as New, so trials sharing one Pre (the campaign per-config convention)
 // remain bit-identical to independently constructed instances.
 func NewWithPre(pre *Pre, seed uint64, sources map[int]int64) (*Compete, error) {
+	return NewWithPreFaults(pre, seed, sources, nil)
+}
+
+// NewWithPreFaults is NewWithPre with a fault scenario installed.
+// Completion becomes survivor-scoped: the Progress target is the set of
+// nodes reachable from the (surviving) sources in the survivor graph, so
+// Done/Run keep their meaning when crashed nodes can never learn the
+// message. With the default bulk path the plan is installed as the
+// engine-side overlay (radio.FaultPlan), keeping the bulk-path speed; with
+// a Wrap hook the overlay is left uninstalled and the hook is expected to
+// realize the same faults per node (radio.FaultPlan.Wrap builds the
+// equivalent wrapper chain). A plan is single-use — build one per
+// constructed instance.
+func NewWithPreFaults(pre *Pre, seed uint64, sources map[int]int64, plan *radio.FaultPlan) (*Compete, error) {
 	g, d, cfg := pre.g, pre.d, pre.cfg
 	if g.N() == 0 {
 		return nil, errors.New("compete: empty graph")
@@ -329,16 +349,24 @@ func NewWithPre(pre *Pre, seed uint64, sources map[int]int64) (*Compete, error) 
 			c.trueMax = v
 		}
 	}
-	c.prog = *radio.NewProgress(int64(n))
-	for _, v := range sources {
-		if v == c.trueMax {
+	target := int64(n)
+	if plan != nil {
+		if plan.N() != n {
+			return nil, fmt.Errorf("compete: fault plan for %d nodes on %d-node graph", plan.N(), n)
+		}
+		c.counted, target = plan.CountedTarget(g, sources)
+	}
+	c.prog = *radio.NewProgress(target)
+	for s, v := range sources {
+		if v == c.trueMax && (c.counted == nil || c.counted[s]) {
 			c.prog.Add(1)
 		}
 	}
 	rn := make([]radio.Node, n)
 	if cfg.Wrap != nil {
 		// Fault-injection path: contiguous per-node reference machines
-		// behind the wrappers; the bulk seams stay uninstalled.
+		// behind the wrappers; the bulk seams stay uninstalled, and so
+		// does the fault overlay (the Wrap hook owns per-node behavior).
 		c.refs = make([]cnode, n)
 		for v := 0; v < n; v++ {
 			c.refs[v] = cnode{id: int32(v), c: c}
@@ -355,6 +383,7 @@ func NewWithPre(pre *Pre, seed uint64, sources map[int]int64) (*Compete, error) 
 	c.Engine = radio.NewEngine(g, rn)
 	c.Engine.Bulk = c.bulk
 	c.Engine.BulkRecv = c.bulk
+	c.Engine.SetFaults(plan)
 	return c, nil
 }
 
@@ -425,8 +454,11 @@ func (c *Compete) Done() bool { return c.prog.Done() }
 // doneFullScan is the O(n) reference implementation of Done, kept for the
 // equivalence tests.
 func (c *Compete) doneFullScan() bool {
-	for _, v := range c.globalMax {
-		if v != c.trueMax {
+	for v, val := range c.globalMax {
+		if c.counted != nil && !c.counted[v] {
+			continue // outside the survivor-scoped completion target
+		}
+		if val != c.trueMax {
 			return false
 		}
 	}
@@ -435,6 +467,14 @@ func (c *Compete) doneFullScan() bool {
 
 // InformedCount returns how many nodes currently know the highest message.
 func (c *Compete) InformedCount() int { return int(c.prog.Count()) }
+
+// ReachTarget returns the number of nodes Done waits on: n for a
+// fault-free run, the survivor-reachable set size under a fault plan.
+func (c *Compete) ReachTarget() int { return int(c.prog.Target()) }
+
+// Reached is InformedCount under its fault-campaign name: the numerator
+// of the reach fraction over ReachTarget.
+func (c *Compete) Reached() int { return int(c.prog.Count()) }
 
 // Values returns each node's currently known best message (Uninformed for
 // nodes that know nothing).

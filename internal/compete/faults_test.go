@@ -1,12 +1,151 @@
 package compete
 
 import (
+	"fmt"
+	"slices"
 	"testing"
 
 	"radionet/internal/graph"
 	"radionet/internal/radio"
 	"radionet/internal/rng"
 )
+
+// competeTestPlan is the crash+jam+loss scenario of the overlay
+// equivalence test; fresh instances per engine (plans are single-use).
+func competeTestPlan(n int) *radio.FaultPlan {
+	p := radio.NewFaultPlan(n, 2718)
+	p.Crash(31, 40)  // a leg
+	p.Crash(35, 0)   // a leg, dead from the start
+	p.Crash(15, 200) // a spine node, mid-run
+	p.Jam(40, 0.15)
+	for v := 1; v < n; v += 4 {
+		p.Loss(v, 0.1)
+	}
+	return p
+}
+
+// TestCompeteFaultOverlayMatchesWrapPath is the bulk-vs-per-node fault
+// equivalence test for the paper's pipeline: the engine-side FaultPlan
+// overlay on the bulk path must match a Wrap-based run of the equivalent
+// CrashNode/JamNode/LossyNode chain round for round — same transmitter
+// sets, same deliveries, same completion round, same survivor values.
+func TestCompeteFaultOverlayMatchesWrapPath(t *testing.T) {
+	g := graph.Caterpillar(15, 2) // spine 0..14, legs 15..44
+	d := g.Diameter()
+	n := g.N()
+	const seed = 31
+	record := func(e *radio.Engine) func() []string {
+		var rounds []string
+		e.Hook = func(_ int64, tx []int32, deliveries, collisions int) {
+			ids := slices.Clone(tx)
+			slices.Sort(ids)
+			rounds = append(rounds, fmt.Sprintf("%v d%d c%d", ids, deliveries, collisions))
+		}
+		return func() []string { return rounds }
+	}
+
+	bulk, err := NewWithPreFaults(NewPre(g, d, Config{}), seed, map[int]int64{0: 9}, competeTestPlan(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logA := record(bulk.Engine)
+
+	wrapPlan := competeTestPlan(n)
+	pernode, err := NewWithPreFaults(NewPre(g, d, Config{Wrap: wrapPlan.Wrap}), seed,
+		map[int]int64{0: 9}, competeTestPlan(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logB := record(pernode.Engine)
+
+	if bulk.ReachTarget() != pernode.ReachTarget() {
+		t.Fatalf("targets differ: bulk %d, per-node %d", bulk.ReachTarget(), pernode.ReachTarget())
+	}
+	budget := 8 * bulk.Budget()
+	var doneAt int64 = -1
+	for i := int64(0); i < budget; i++ {
+		bulk.Engine.Step()
+		pernode.Engine.Step()
+		if bulk.Done() != pernode.Done() {
+			t.Fatalf("round %d: Done diverged (bulk %v, per-node %v)", i, bulk.Done(), pernode.Done())
+		}
+		if bulk.Done() {
+			doneAt = i
+			break
+		}
+	}
+	if doneAt < 0 {
+		t.Fatalf("faulted compete incomplete after %d rounds (%d/%d)", budget, bulk.Reached(), bulk.ReachTarget())
+	}
+	a, b := logA(), logB()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d diverged:\nbulk+overlay: %s\nwrap path:    %s", i, a[i], b[i])
+		}
+	}
+	if bulk.Engine.Metrics != pernode.Engine.Metrics {
+		t.Fatalf("metrics diverged:\nbulk+overlay: %+v\nwrap path:    %+v", bulk.Engine.Metrics, pernode.Engine.Metrics)
+	}
+	av, bv := bulk.Values(), pernode.Values()
+	alive := competeTestPlan(n).SurvivorMask()
+	for v := range av {
+		if alive[v] && av[v] != bv[v] {
+			t.Fatalf("survivor %d values diverged: %d vs %d", v, av[v], bv[v])
+		}
+	}
+}
+
+// TestFaultedBroadcastTerminatesBothPaths is the acceptance criterion: a
+// crash-fault broadcast (30% of non-source nodes crashing at round 50)
+// terminates with Done=true well under budget and reaches every
+// survivor-reachable node, on both the bulk path (engine overlay) and the
+// per-node Wrap path — before the survivor-scoped target, both could only
+// exhaust the whole whp budget and report failure.
+func TestFaultedBroadcastTerminatesBothPaths(t *testing.T) {
+	g := graph.Grid(6, 10)
+	d := g.Diameter()
+	n := g.N()
+	mkPlan := func() *radio.FaultPlan {
+		p := radio.NewFaultPlan(n, 7)
+		r := rng.New(7)
+		crashed := 0
+		for v := 1; v < n && crashed < n*3/10; v++ {
+			if r.Bernoulli(0.4) {
+				p.Crash(v, 50)
+				crashed++
+			}
+		}
+		return p
+	}
+
+	bulk, err := NewWithPreFaults(NewPre(g, d, Config{}), 13, map[int]int64{0: 9}, mkPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapPlan := mkPlan()
+	pernode, err := NewWithPreFaults(NewPre(g, d, Config{Wrap: wrapPlan.Wrap}), 13,
+		map[int]int64{0: 9}, mkPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]*Compete{"bulk": bulk, "per-node": pernode} {
+		budget := 8 * c.Budget()
+		rounds, done := c.Run(budget)
+		if !done {
+			t.Fatalf("%s: faulted broadcast incomplete after %d rounds (%d/%d informed)",
+				name, rounds, c.Reached(), c.ReachTarget())
+		}
+		if rounds >= budget/2 {
+			t.Errorf("%s: %d rounds is not 'well under' the %d budget", name, rounds, budget)
+		}
+		if c.Reached() != c.ReachTarget() {
+			t.Errorf("%s: reach %d/%d at Done", name, c.Reached(), c.ReachTarget())
+		}
+		if !c.doneFullScan() {
+			t.Errorf("%s: incremental Done disagrees with the survivor-scoped full scan", name)
+		}
+	}
+}
 
 // TestBroadcastSurvivesCrashes injects crash faults into non-cut nodes and
 // requires every surviving node to still learn the message: the protocol

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"radionet/internal/graph"
+	"radionet/internal/radio"
 	"radionet/internal/rng"
 )
 
@@ -24,7 +25,13 @@ func NewBroadcast(g *graph.Graph, d int, cfg Config, seed uint64, src int, value
 // NewBroadcastPre is NewBroadcast with the seed-independent
 // precomputation supplied externally (see NewWithPre).
 func NewBroadcastPre(pre *Pre, seed uint64, src int, value int64) (*Broadcast, error) {
-	c, err := NewWithPre(pre, seed, map[int]int64{src: value})
+	return NewBroadcastPreFaults(pre, seed, src, value, nil)
+}
+
+// NewBroadcastPreFaults is NewBroadcastPre with a fault scenario
+// installed; completion is survivor-scoped (see NewWithPreFaults).
+func NewBroadcastPreFaults(pre *Pre, seed uint64, src int, value int64, plan *radio.FaultPlan) (*Broadcast, error) {
+	c, err := NewWithPreFaults(pre, seed, map[int]int64{src: value}, plan)
 	if err != nil {
 		return nil, err
 	}

@@ -60,7 +60,7 @@ func (nd *cnode) Recv(t int64, msg *radio.Message, _ bool) {
 	}
 	if msg.A > nd.c.globalMax[nd.id] {
 		nd.c.globalMax[nd.id] = msg.A
-		if msg.A == nd.c.trueMax {
+		if msg.A == nd.c.trueMax && (nd.c.counted == nil || nd.c.counted[nd.id]) {
 			nd.c.prog.Add(1)
 		}
 	}

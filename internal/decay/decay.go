@@ -58,6 +58,15 @@ type Config struct {
 	// Wrap, if set, wraps each node's protocol before it is installed in
 	// the engine — the fault-injection hook (see radio.CrashNode et al.).
 	Wrap func(v int, n radio.Node) radio.Node
+	// Faults, if set, is a whole-network fault scenario. Completion becomes
+	// survivor-scoped: the Progress target is the set of nodes reachable
+	// from the (surviving) sources in the survivor graph, so Done keeps
+	// its meaning when crashed nodes can never be informed. With a nil
+	// Wrap the plan is installed as the engine-side overlay (keeping the
+	// bulk fast path); with a Wrap hook the overlay is left uninstalled
+	// and the hook is expected to realize the same faults per node
+	// (radio.FaultPlan.Wrap builds the equivalent wrapper chain).
+	Faults *radio.FaultPlan
 }
 
 func (c Config) levels(n int) int {
@@ -83,6 +92,11 @@ type tracker struct {
 	probs      []float64 // probs[s] = Prob(s), precomputed per phase step
 	thr        []uint64  // thr[s]: rnd.Uint64()>>11 < thr[s] <=> Bernoulli(probs[s])
 	isInformed []bool    // per-node informed flag, indexed by node id
+	// counted is the survivor-scoped completion mask (nil without a fault
+	// plan): only nodes reachable from the surviving sources in the
+	// survivor graph count toward prog, so nodes a crash schedule makes
+	// uninformable can never pin Done at false.
+	counted []bool
 }
 
 // node is the per-node state of the Decay broadcast protocol. Uninformed
@@ -152,7 +166,7 @@ func (b *node) Recv(t int64, msg *radio.Message, _ bool) {
 	b.val = msg.A
 	// Circulating values are source values, so the threshold is crossed
 	// at most once per node: val only grows and never exceeds trueMax.
-	if msg.A == b.tr.trueMax {
+	if msg.A == b.tr.trueMax && (b.tr.counted == nil || b.tr.counted[b.idx]) {
 		b.tr.prog.Add(1)
 	}
 }
@@ -205,6 +219,17 @@ func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64
 			first = false
 		}
 	}
+	// Completion: every node at trueMax — every survivor-reachable node
+	// under a fault plan (see Config.Faults). With no sources nothing can
+	// ever circulate, so the target is pinned out of reach (the full
+	// scan's "no informed node" case).
+	target := int64(n)
+	if cfg.Faults != nil {
+		b.tr.counted, target = cfg.Faults.CountedTarget(g, sources)
+	}
+	if len(sources) == 0 {
+		target = int64(n) + 1
+	}
 	atMax := int64(0)
 	for s, v := range sources {
 		if v < 0 {
@@ -213,16 +238,9 @@ func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64
 		b.tr.isInformed[s] = true
 		b.nodes[s].val = v
 		b.tr.informed++
-		if v == b.tr.trueMax {
+		if v == b.tr.trueMax && (b.tr.counted == nil || b.tr.counted[s]) {
 			atMax++
 		}
-	}
-	// Completion: every node at trueMax. With no sources nothing can ever
-	// circulate, so the target is pinned out of reach (the full scan's
-	// "no informed node" case).
-	target := int64(n)
-	if len(sources) == 0 {
-		target = int64(n) + 1
 	}
 	b.tr.prog = *radio.NewProgress(target)
 	b.tr.prog.Add(atMax)
@@ -233,6 +251,7 @@ func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64
 		// interposes per-node behavior and disables them.
 		b.Engine.Bulk = b
 		b.Engine.BulkRecv = b
+		b.Engine.SetFaults(cfg.Faults)
 	}
 	return b
 }
@@ -281,6 +300,21 @@ func (b *Broadcast) Done() bool { return b.tr.prog.Done() }
 // doneFullScan is the O(n) reference implementation of Done, kept for the
 // equivalence tests and the termination-checking benchmarks.
 func (b *Broadcast) doneFullScan() bool {
+	if b.tr.counted != nil {
+		if b.tr.prog.Target() > int64(len(b.nodes)) {
+			return false // the no-sources pin (target n+1): never done
+		}
+		// Survivor-scoped: every counted node informed of trueMax.
+		for i := range b.nodes {
+			if !b.tr.counted[i] {
+				continue
+			}
+			if nd := &b.nodes[i]; !nd.informed() || nd.val != b.tr.trueMax {
+				return false
+			}
+		}
+		return true
+	}
 	max := int64(0)
 	first := true
 	for i := range b.nodes {
@@ -302,6 +336,15 @@ func (b *Broadcast) doneFullScan() bool {
 
 // InformedCount returns how many nodes are informed of any value.
 func (b *Broadcast) InformedCount() int { return b.tr.informed }
+
+// ReachTarget returns the number of nodes Done waits on: n for a
+// fault-free broadcast, the survivor-reachable set size under a fault
+// plan (n+1 when no sources were supplied — the unreachable pin).
+func (b *Broadcast) ReachTarget() int { return int(b.tr.prog.Target()) }
+
+// Reached returns how many target nodes know the maximum source value —
+// the numerator of the fault campaigns' reach fraction.
+func (b *Broadcast) Reached() int { return int(b.tr.prog.Count()) }
 
 // Values returns a copy of each node's current value; uninformed nodes
 // report -1.

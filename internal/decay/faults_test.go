@@ -1,12 +1,130 @@
 package decay
 
 import (
+	"fmt"
+	"slices"
 	"testing"
 
 	"radionet/internal/graph"
 	"radionet/internal/radio"
 	"radionet/internal/rng"
 )
+
+// decayTestPlan is the crash+jam+loss scenario shared by the overlay
+// equivalence tests; fresh instances per engine (plans are single-use).
+func decayTestPlan(n int) *radio.FaultPlan {
+	p := radio.NewFaultPlan(n, 4711)
+	p.Crash(7, 30)
+	p.Crash(19, 0)
+	p.Crash(33, 80)
+	p.Jam(11, 0.2)
+	p.Jam(28, 0.1)
+	for v := 0; v < n; v += 3 {
+		p.Loss(v, 0.15)
+	}
+	return p
+}
+
+// TestDecayFaultOverlayMatchesWrapPath is the bulk-vs-per-node fault
+// equivalence test: the engine-side FaultPlan overlay on the bulk path
+// must match a Wrap-based CrashNode/JamNode/LossyNode run round for round
+// — same transmitter sets, same deliveries, same rounds to completion,
+// same survivor reach.
+func TestDecayFaultOverlayMatchesWrapPath(t *testing.T) {
+	g := graph.Grid(6, 8)
+	n := g.N()
+	record := func(e *radio.Engine) func() []string {
+		var rounds []string
+		e.Hook = func(_ int64, tx []int32, deliveries, collisions int) {
+			ids := slices.Clone(tx)
+			slices.Sort(ids)
+			rounds = append(rounds, fmt.Sprintf("%v d%d c%d", ids, deliveries, collisions))
+		}
+		return func() []string { return rounds }
+	}
+	sources := map[int]int64{0: 9}
+
+	bulk := NewBroadcast(g, Config{Faults: decayTestPlan(n)}, 17, sources)
+	logA := record(bulk.Engine)
+
+	wrapPlan := decayTestPlan(n)
+	pernode := NewBroadcast(g, Config{
+		Faults: decayTestPlan(n),
+		Wrap:   wrapPlan.Wrap,
+	}, 17, sources)
+	logB := record(pernode.Engine)
+
+	if bulk.ReachTarget() != pernode.ReachTarget() {
+		t.Fatalf("targets differ: bulk %d, per-node %d", bulk.ReachTarget(), pernode.ReachTarget())
+	}
+	const maxRounds = 4000
+	var doneAt int64 = -1
+	for i := int64(0); i < maxRounds; i++ {
+		bulk.Engine.Step()
+		pernode.Engine.Step()
+		if bulk.Done() != pernode.Done() {
+			t.Fatalf("round %d: Done diverged (bulk %v, per-node %v)", i, bulk.Done(), pernode.Done())
+		}
+		if bulk.Done() {
+			doneAt = i
+			break
+		}
+	}
+	if doneAt < 0 {
+		t.Fatalf("faulted broadcast incomplete after %d rounds (%d/%d)", maxRounds, bulk.Reached(), bulk.ReachTarget())
+	}
+	a, b := logA(), logB()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d diverged:\nbulk+overlay: %s\nwrap path:    %s", i, a[i], b[i])
+		}
+	}
+	if bulk.Engine.Metrics != pernode.Engine.Metrics {
+		t.Fatalf("metrics diverged:\nbulk+overlay: %+v\nwrap path:    %+v", bulk.Engine.Metrics, pernode.Engine.Metrics)
+	}
+	if bulk.Reached() != pernode.Reached() || bulk.Reached() != bulk.ReachTarget() {
+		t.Fatalf("reach diverged: bulk %d/%d, per-node %d/%d",
+			bulk.Reached(), bulk.ReachTarget(), pernode.Reached(), pernode.ReachTarget())
+	}
+	av, bv := bulk.Values(), pernode.Values()
+	alive := decayTestPlan(n).SurvivorMask()
+	for v := range av {
+		if alive[v] && av[v] != bv[v] {
+			t.Fatalf("survivor %d values diverged: %d vs %d", v, av[v], bv[v])
+		}
+	}
+}
+
+// TestDecaySurvivorScopedTermination: with a crash plan installed, Done
+// fires once every survivor-reachable node is informed — before the fix
+// the target stayed n and every faulted run could only exhaust its budget.
+func TestDecaySurvivorScopedTermination(t *testing.T) {
+	// Path: crashing an interior node at round 0 cuts everything behind it.
+	g := graph.Path(40)
+	plan := radio.NewFaultPlan(40, 5)
+	plan.Crash(20, 0)
+	b := NewBroadcast(g, Config{Faults: plan}, 11, map[int]int64{0: 9})
+	if got := b.ReachTarget(); got != 20 {
+		t.Fatalf("ReachTarget = %d, want 20 (nodes 0..19)", got)
+	}
+	rounds, done := b.Run(1 << 20)
+	if !done {
+		t.Fatalf("survivor-scoped broadcast incomplete after %d rounds (%d/%d)", rounds, b.Reached(), b.ReachTarget())
+	}
+	if b.Reached() != b.ReachTarget() {
+		t.Fatalf("reach %d/%d at Done", b.Reached(), b.ReachTarget())
+	}
+	if !b.doneFullScan() {
+		t.Fatal("incremental Done disagrees with the survivor-scoped full scan")
+	}
+	// The unreachable side must not have been counted even if partially
+	// informed before the crash (crash at 0 here, so it stays dark).
+	for v, val := range b.Values() {
+		if v > 20 && val != -1 {
+			t.Fatalf("node %d informed through a dead cut vertex", v)
+		}
+	}
+}
 
 func TestDecayBroadcastSurvivesCrashes(t *testing.T) {
 	// Grid stays connected after losing scattered interior nodes.

@@ -1,0 +1,257 @@
+package radio
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/rng"
+)
+
+// TestOverlayCrashMasksTransmitter: a crashed beacon goes off the air at
+// its crash round even though the per-node Act (or a bulk pass) would have
+// transmitted.
+func TestOverlayCrashMasksTransmitter(t *testing.T) {
+	g := graph.Path(2)
+	heard := 0
+	rx := &FuncNode{RecvFn: func(_ int64, m *Message, _ bool) {
+		if m != nil {
+			heard++
+		}
+	}}
+	p := NewFaultPlan(2, 1)
+	p.Crash(0, 4)
+	e := NewEngine(g, []Node{&beacon{v: 5}, rx})
+	e.SetFaults(p)
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if heard != 4 {
+		t.Fatalf("receiver heard %d transmissions, want 4", heard)
+	}
+	if e.Metrics.Transmissions != 4 {
+		t.Fatalf("Transmissions = %d, want 4", e.Metrics.Transmissions)
+	}
+}
+
+// TestCrashedListenerStopsCounting is the satellite-1 regression: a
+// crashed node must stop counting toward Deliveries/Collisions, on both
+// the wrapper path (CrashNode via the Mortal seam) and the overlay path.
+// Before the fix a crashed node stayed a delivery-counting listener for
+// the rest of the run.
+func TestCrashedListenerStopsCounting(t *testing.T) {
+	run := func(build func(listener Node) (*Engine, func())) Metrics {
+		e, _ := build(Silent{})
+		for i := 0; i < 10; i++ {
+			e.Step()
+		}
+		return e.Metrics
+	}
+	// Baseline: a healthy listener next to a beacon hears all 10 rounds.
+	base := run(func(l Node) (*Engine, func()) {
+		return NewEngine(graph.Path(2), []Node{&beacon{v: 9}, l}), nil
+	})
+	if base.Deliveries != 10 {
+		t.Fatalf("baseline deliveries = %d, want 10", base.Deliveries)
+	}
+	wrapper := run(func(l Node) (*Engine, func()) {
+		return NewEngine(graph.Path(2), []Node{&beacon{v: 9}, &CrashNode{Inner: l, CrashAt: 6}}), nil
+	})
+	overlay := run(func(l Node) (*Engine, func()) {
+		p := NewFaultPlan(2, 1)
+		p.Crash(1, 6)
+		e := NewEngine(graph.Path(2), []Node{&beacon{v: 9}, l})
+		e.SetFaults(p)
+		return e, nil
+	})
+	for name, m := range map[string]Metrics{"wrapper": wrapper, "overlay": overlay} {
+		if m.Deliveries != 6 {
+			t.Errorf("%s: deliveries = %d, want 6 (dead listeners must not count)", name, m.Deliveries)
+		}
+	}
+}
+
+// TestCrashedListenerStopsCountingCollisions: same regression for the
+// collision counter (two beacons collide at a third node forever).
+func TestCrashedListenerStopsCountingCollisions(t *testing.T) {
+	g := graph.Star(3) // center 0 hears both leaves
+	e := NewEngine(g, []Node{&CrashNode{Inner: Silent{}, CrashAt: 3}, &beacon{v: 1}, &beacon{v: 2}})
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if e.Metrics.Collisions != 3 {
+		t.Fatalf("collisions = %d, want 3 (crashed center must stop counting)", e.Metrics.Collisions)
+	}
+}
+
+// TestOverlayJamCausesCollisions mirrors TestJamNodeCausesCollisions on
+// the overlay path: a constant jammer leaf blanks out the star center.
+func TestOverlayJamCausesCollisions(t *testing.T) {
+	g := graph.Star(3)
+	heard := 0
+	rx := &FuncNode{RecvFn: func(_ int64, m *Message, _ bool) {
+		if m != nil {
+			heard++
+		}
+	}}
+	p := NewFaultPlan(3, 7)
+	p.Jam(2, 1)
+	e := NewEngine(g, []Node{rx, &beacon{v: 5}, Silent{}})
+	e.SetFaults(p)
+	for i := 0; i < 20; i++ {
+		e.Step()
+	}
+	if heard != 0 {
+		t.Fatalf("center heard %d messages through a constant jammer", heard)
+	}
+	if e.Metrics.Collisions != 20 {
+		t.Fatalf("collisions = %d, want 20", e.Metrics.Collisions)
+	}
+}
+
+// TestOverlayLossDropsReceptions mirrors TestLossyNodeDropsReceptions on
+// the overlay path; faded receptions still count as engine deliveries
+// (the message was on the air), matching the wrapper path's accounting.
+func TestOverlayLossDropsReceptions(t *testing.T) {
+	g := graph.Path(2)
+	heard := 0
+	rx := &FuncNode{RecvFn: func(_ int64, m *Message, _ bool) {
+		if m != nil {
+			heard++
+		}
+	}}
+	p := NewFaultPlan(2, 3)
+	p.Loss(0, 0.5)
+	e := NewEngine(g, []Node{rx, &beacon{v: 5}})
+	e.SetFaults(p)
+	for i := 0; i < 400; i++ {
+		e.Step()
+	}
+	if frac := float64(heard) / 400; frac < 0.35 || frac > 0.65 {
+		t.Fatalf("delivery fraction %.2f, want ~0.5", frac)
+	}
+	if e.Metrics.Deliveries != 400 {
+		t.Fatalf("Deliveries = %d, want 400 (fades count as on-air deliveries)", e.Metrics.Deliveries)
+	}
+}
+
+// chatter is a minimal randomized protocol for the overlay-vs-wrapper
+// equivalence test: transmits its best known value with probability 0.3
+// every round and adopts any higher value it hears.
+type chatter struct {
+	rnd  rng.Rand
+	best int64
+}
+
+func (c *chatter) Act(int64) Action {
+	if c.rnd.Bernoulli(0.3) {
+		return Transmit(Message{Kind: 1, A: c.best})
+	}
+	return Listen
+}
+
+func (c *chatter) Recv(_ int64, m *Message, _ bool) {
+	if m != nil && m.Kind == 1 && m.A > c.best {
+		c.best = m.A
+	}
+}
+
+// TestOverlayMatchesWrappers: the engine-side FaultPlan overlay and the
+// plan's Wrap chain (CrashNode/JamNode/LossyNode with identically derived
+// coin streams) produce the same on-air trajectory round for round — same
+// transmitter sets, same live-node states, same metrics.
+func TestOverlayMatchesWrappers(t *testing.T) {
+	g := graph.Grid(4, 5)
+	n := g.N()
+	const faultSeed = 99
+	mkPlan := func() *FaultPlan {
+		p := NewFaultPlan(n, faultSeed)
+		p.Crash(3, 25)
+		p.Crash(7, 0)
+		p.Crash(12, 60)
+		p.Jam(5, 0.3)
+		p.Jam(9, 0.15)
+		for v := 0; v < n; v += 2 {
+			p.Loss(v, 0.2)
+		}
+		return p
+	}
+	mkNodes := func() []*chatter {
+		nodes := make([]*chatter, n)
+		master := rng.New(42)
+		for v := range nodes {
+			nodes[v] = &chatter{rnd: *master.Fork(uint64(v)), best: int64(v)}
+		}
+		return nodes
+	}
+	record := func(e *Engine) func() []string {
+		var rounds []string
+		e.Hook = func(_ int64, tx []int32, deliveries, collisions int) {
+			ids := slices.Clone(tx)
+			slices.Sort(ids)
+			rounds = append(rounds, fmt.Sprintf("%v d%d c%d", ids, deliveries, collisions))
+		}
+		return func() []string { return rounds }
+	}
+
+	overlayNodes := mkNodes()
+	rnA := make([]Node, n)
+	for v := range rnA {
+		rnA[v] = overlayNodes[v]
+	}
+	eA := NewEngine(g, rnA)
+	eA.SetFaults(mkPlan())
+	logA := record(eA)
+
+	wrapPlan := mkPlan()
+	wrapNodes := mkNodes()
+	rnB := make([]Node, n)
+	for v := range rnB {
+		rnB[v] = wrapPlan.Wrap(v, wrapNodes[v])
+	}
+	eB := NewEngine(g, rnB)
+	logB := record(eB)
+
+	dead := mkPlan()
+	for i := 0; i < 200; i++ {
+		eA.Step()
+		eB.Step()
+	}
+	a, b := logA(), logB()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d diverged:\noverlay: %s\nwrapper: %s", i, a[i], b[i])
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !dead.Alive(v) {
+			continue // dead nodes' private state may legally differ
+		}
+		if overlayNodes[v].best != wrapNodes[v].best {
+			t.Errorf("node %d state diverged: overlay %d, wrapper %d", v, overlayNodes[v].best, wrapNodes[v].best)
+		}
+	}
+	if eA.Metrics != eB.Metrics {
+		t.Errorf("metrics diverged:\noverlay: %+v\nwrapper: %+v", eA.Metrics, eB.Metrics)
+	}
+}
+
+// TestSetFaultsValidation: wrong plan size and post-Step installs panic.
+func TestSetFaultsValidation(t *testing.T) {
+	g := graph.Path(2)
+	e := NewEngine(g, []Node{Silent{}, Silent{}})
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("size mismatch", func() { e.SetFaults(NewFaultPlan(3, 1)) })
+	e.Step()
+	mustPanic("after Step", func() { e.SetFaults(NewFaultPlan(2, 1)) })
+	// nil install is a no-op at any time.
+	e.SetFaults(nil)
+}

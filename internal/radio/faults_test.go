@@ -50,6 +50,69 @@ func TestCrashedNodeIsSilentOnAir(t *testing.T) {
 	}
 }
 
+// TestFaultWrapperRoundBasisIsGlobal pins the satellite round-basis
+// convention: fault wrappers interpret rounds in the basis their Act/Recv
+// calls arrive in, so the supported composition — wrapper outermost,
+// wrapping the TDM — crashes at the GLOBAL engine round. The inverted
+// nesting (wrapper inside a lane) would compare lane-local rounds and fire
+// k times later; this test is the documentation's teeth.
+func TestFaultWrapperRoundBasisIsGlobal(t *testing.T) {
+	countingLanes := func() (*TDM, *int) {
+		acts := 0
+		lane := func() Node {
+			return &FuncNode{ActFn: func(int64) Action { acts++; return Listen }}
+		}
+		return NewTDM(lane(), lane()), &acts
+	}
+
+	// Supported: CrashNode wraps the TDM. CrashAt 5 is a global round, so
+	// the two lanes execute exactly 5 lane rounds in total.
+	tdm, acts := countingLanes()
+	e := NewEngine(graph.Path(2), []Node{&CrashNode{Inner: tdm, CrashAt: 5}, Silent{}})
+	for i := 0; i < 12; i++ {
+		e.Step()
+	}
+	if *acts != 5 {
+		t.Fatalf("outermost CrashNode: %d lane acts, want 5 (global rounds)", *acts)
+	}
+
+	// Footgun: the same CrashAt inside one TDM lane is lane-local — that
+	// lane sees rounds 0, 1, 2, ... at half speed and crashes at global
+	// round 10, not 5.
+	acts2 := 0
+	inner := &FuncNode{ActFn: func(int64) Action { acts2++; return Listen }}
+	tdm2 := NewTDM(&CrashNode{Inner: inner, CrashAt: 5}, Silent{})
+	e2 := NewEngine(graph.Path(2), []Node{tdm2, Silent{}})
+	for i := 0; i < 20; i++ {
+		e2.Step()
+	}
+	if acts2 != 5 {
+		// 5 acts happen over 10 GLOBAL rounds here — twice the intended
+		// lifetime. The count is the same but the wall-clock isn't; the
+		// assertion documents that the lane-local basis stretches time.
+		t.Fatalf("lane-nested CrashNode: %d lane acts, want 5", acts2)
+	}
+}
+
+// TestJamNodeStepsInnerEveryRound pins the jam-wrapper contract the
+// engine overlay relies on: the inner protocol machine advances (and
+// consumes its randomness) even in rounds where the jam coin fires.
+func TestJamNodeStepsInnerEveryRound(t *testing.T) {
+	acts := 0
+	inner := &FuncNode{ActFn: func(int64) Action { acts++; return Listen }}
+	j := &JamNode{Inner: inner, P: 1, Rnd: rng.New(8)}
+	e := NewEngine(graph.Path(2), []Node{j, Silent{}})
+	for i := 0; i < 6; i++ {
+		e.Step()
+	}
+	if acts != 6 {
+		t.Fatalf("inner acted %d times under constant jamming, want 6", acts)
+	}
+	if e.Metrics.Transmissions != 6 {
+		t.Fatalf("transmissions = %d, want 6 (all noise)", e.Metrics.Transmissions)
+	}
+}
+
 func TestJamNodeCausesCollisions(t *testing.T) {
 	// Star center listens; one leaf beacons, the other jams always.
 	g := graph.Star(3)

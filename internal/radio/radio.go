@@ -15,7 +15,9 @@
 package radio
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"radionet/internal/graph"
 )
@@ -203,6 +205,30 @@ type Engine struct {
 	dormant  []bool    // engine-cached Dormant() state
 	quiet    []bool    // engine-cached IgnoresSilence() state
 	allQuiet bool      // every node ignores silence: sparse listener pass
+
+	// Fault state: dead is the union of the overlay's crash schedule and
+	// the Mortal wrappers' reports; a dead node is off the air and out of
+	// both listener passes. anyDead gates every dead check so unfaulted
+	// runs pay one predictable branch.
+	fault      *FaultPlan
+	hasLoss    bool
+	dead       []bool
+	anyDead    bool
+	crashSched []crashEvent
+	crashCur   int
+	mortals    []mortalRef
+}
+
+// crashEvent is one overlay crash, sorted by round for the Step cursor.
+type crashEvent struct {
+	round int64
+	node  int32
+}
+
+// mortalRef pairs a Mortal wrapper with its node id for the per-round poll.
+type mortalRef struct {
+	id int32
+	nd Mortal
 }
 
 // NewEngine returns an engine running nodes on g. len(nodes) must equal
@@ -228,6 +254,7 @@ func NewEngine(g *graph.Graph, nodes []Node) *Engine {
 		dormant:  make([]bool, n),
 		quiet:    make([]bool, n),
 		allQuiet: true,
+		dead:     make([]bool, n),
 	}
 	for i, nd := range nodes {
 		if s, ok := nd.(Sleeper); ok {
@@ -239,8 +266,42 @@ func NewEngine(g *graph.Graph, nodes []Node) *Engine {
 		} else {
 			e.allQuiet = false
 		}
+		if m, ok := nd.(Mortal); ok {
+			e.mortals = append(e.mortals, mortalRef{id: int32(i), nd: m})
+		}
 	}
 	return e
+}
+
+// SetFaults installs the engine-side fault overlay (see FaultPlan). It
+// must be called before the first Step, at most once, with a plan built
+// for this engine's node count; the plan is consumed by the run (its coin
+// streams advance) and must not be reused.
+func (e *Engine) SetFaults(p *FaultPlan) {
+	if p == nil {
+		return
+	}
+	if p.n != len(e.Nodes) {
+		panic(fmt.Sprintf("radio: fault plan for %d nodes installed in %d-node engine", p.n, len(e.Nodes)))
+	}
+	if e.round != 0 || e.fault != nil {
+		panic("radio: SetFaults must be called once, before the first Step")
+	}
+	e.fault = p
+	e.hasLoss = p.hasLoss
+	for v, r := range p.crashAt {
+		if r != NoCrash {
+			e.crashSched = append(e.crashSched, crashEvent{round: r, node: int32(v)})
+		}
+	}
+	// Ascending by round; node order within a round is irrelevant (the
+	// whole prefix with round <= t is applied before anything else runs).
+	slices.SortFunc(e.crashSched, func(a, b crashEvent) int {
+		if a.round != b.round {
+			return cmp.Compare(a.round, b.round)
+		}
+		return cmp.Compare(a.node, b.node)
+	})
 }
 
 // Round returns the index of the next round to execute.
@@ -251,6 +312,19 @@ func (e *Engine) Step() {
 	t := e.round
 	e.round++
 	e.Metrics.Rounds++
+	if e.fault != nil {
+		for e.crashCur < len(e.crashSched) && e.crashSched[e.crashCur].round <= t {
+			e.dead[e.crashSched[e.crashCur].node] = true
+			e.anyDead = true
+			e.crashCur++
+		}
+	}
+	for _, m := range e.mortals {
+		if !e.dead[m.id] && m.nd.Crashed(t) {
+			e.dead[m.id] = true
+			e.anyDead = true
+		}
+	}
 	if e.Bulk != nil {
 		// isTx is maintained differentially: entries set last round are
 		// exactly last round's transmit list (the dense loop below instead
@@ -261,6 +335,21 @@ func (e *Engine) Step() {
 		e.transmit = e.transmit[:0]
 		e.txmsg = e.txmsg[:0]
 		e.transmit, e.txmsg = e.Bulk.ActBulk(t, e.transmit, e.txmsg)
+		if e.anyDead {
+			// Dead nodes drop off the air: the bulk path computes the whole
+			// round protocol-side, so the engine masks their transmissions.
+			w := 0
+			for j, u := range e.transmit {
+				if e.dead[u] {
+					continue
+				}
+				e.transmit[w] = u
+				e.txmsg[w] = e.txmsg[j]
+				w++
+			}
+			e.transmit = e.transmit[:w]
+			e.txmsg = e.txmsg[:w]
+		}
 		for _, u := range e.transmit {
 			e.isTx[u] = true
 		}
@@ -268,6 +357,10 @@ func (e *Engine) Step() {
 		e.transmit = e.transmit[:0]
 		e.txmsg = e.txmsg[:0]
 		for i, nd := range e.Nodes {
+			if e.anyDead && e.dead[i] {
+				e.isTx[i] = false // dead nodes are off the air
+				continue
+			}
 			if e.dormant[i] {
 				e.isTx[i] = false // dormant nodes promise to listen
 				continue
@@ -279,6 +372,9 @@ func (e *Engine) Step() {
 				e.txmsg = append(e.txmsg, a.Msg)
 			}
 		}
+	}
+	if e.fault != nil && len(e.fault.jammers) > 0 {
+		e.applyJam()
 	}
 	e.Metrics.Transmissions += int64(len(e.transmit))
 	// Mark reception counts lazily: stamp arrays avoid an O(n) clear.
@@ -313,8 +409,14 @@ func (e *Engine) Step() {
 			if e.isTx[i] {
 				continue // transmitters cannot listen
 			}
+			if e.anyDead && e.dead[i] {
+				continue // dead nodes hear nothing and count nothing
+			}
 			if e.hits[i] == 1 {
 				deliveries++
+				if e.hasLoss && e.fault.dropRecv(i) {
+					continue // reception faded: on the air, never delivered
+				}
 				if bulkRecv {
 					e.rcvID = append(e.rcvID, vi)
 					e.rcvIdx = append(e.rcvIdx, e.inbox[i])
@@ -341,6 +443,9 @@ func (e *Engine) Step() {
 			if e.isTx[i] {
 				continue // transmitters cannot listen
 			}
+			if e.anyDead && e.dead[i] {
+				continue // dead nodes hear nothing and count nothing
+			}
 			onAir := e.stamp[i] == cur
 			if !onAir && (e.dormant[i] || e.quiet[i]) {
 				continue // nothing heard and the node ignores silence
@@ -348,6 +453,9 @@ func (e *Engine) Step() {
 			switch {
 			case onAir && e.hits[i] == 1:
 				deliveries++
+				if e.hasLoss && e.fault.dropRecv(i) {
+					continue // reception faded: on the air, never delivered
+				}
 				if bulkRecv {
 					e.rcvID = append(e.rcvID, int32(i))
 					e.rcvIdx = append(e.rcvIdx, e.inbox[i])
@@ -377,6 +485,36 @@ func (e *Engine) Step() {
 	e.Metrics.Collisions += int64(collisions)
 	if e.Hook != nil {
 		e.Hook(t, e.transmit, deliveries, collisions)
+	}
+}
+
+// applyJam draws each live jammer's noise coin and, when it fires,
+// replaces the node's action for the round with a KindNoise transmission
+// (overriding a protocol transmission in place, or putting a listener on
+// the air). Jammers are visited in ascending id order and each live jammer
+// draws exactly one coin per round, matching JamNode's wrapper semantics
+// coin for coin.
+func (e *Engine) applyJam() {
+	p := e.fault
+	for _, v := range p.jammers {
+		if e.dead[v] {
+			continue
+		}
+		if !p.jamRnd[v].Bernoulli(p.jamP[v]) {
+			continue
+		}
+		if e.isTx[v] {
+			for j, u := range e.transmit {
+				if u == v {
+					e.txmsg[j] = Message{Kind: KindNoise}
+					break
+				}
+			}
+			continue
+		}
+		e.isTx[v] = true
+		e.transmit = append(e.transmit, v)
+		e.txmsg = append(e.txmsg, Message{Kind: KindNoise})
 	}
 }
 

@@ -152,7 +152,25 @@ type Result struct {
 	PrecomputeRounds int64
 	// Done reports whether the task completed within budget.
 	Done bool
+	// Reached/ReachTarget report broadcast completion accounting:
+	// ReachTarget is n for a fault-free run and the survivor-reachable
+	// set size under a fault plan; Reached is how many of those nodes
+	// know the message (== ReachTarget exactly when Done).
+	Reached, ReachTarget int
 }
+
+// FaultPlan is a whole-network fault scenario — per-node crash rounds, a
+// jammer set, per-node reception loss — applied engine-side so faulted
+// runs keep the bulk-path speed. Completion under a plan is
+// survivor-scoped: the run is Done when every node reachable from the
+// surviving sources through never-crashing nodes knows the message. See
+// DESIGN.md §7.
+type FaultPlan = radio.FaultPlan
+
+// NewFaultPlan returns an empty fault plan for an n-node network; seed
+// derives the jam/loss coin streams. Populate it with Crash/Jam/Loss. A
+// plan is single-use: build one per run.
+func NewFaultPlan(n int, seed uint64) *FaultPlan { return radio.NewFaultPlan(n, seed) }
 
 // RoundHook observes every executed round (tracing/metrics); see
 // internal/trace for a ready-made recorder.
@@ -170,6 +188,9 @@ type BroadcastOptions struct {
 	Config Config
 	// Hook, if set, observes every round of the run.
 	Hook RoundHook
+	// Faults, if set, injects the fault scenario and survivor-scopes
+	// completion (see FaultPlan).
+	Faults *FaultPlan
 }
 
 // Broadcast delivers value from node src to every node and returns the
@@ -200,20 +221,22 @@ func (n *Network) Compete(sources map[int]int64, o BroadcastOptions) (Result, er
 		if o.Algorithm == HW16 {
 			cfg.CurtailLogLog = true
 		}
-		c, err := compete.New(n.G, n.Diameter, cfg, o.Seed, sources)
+		c, err := compete.NewWithPreFaults(compete.NewPre(n.G, n.Diameter, cfg), o.Seed, sources, o.Faults)
 		if err != nil {
 			return Result{}, err
 		}
 		c.Engine.Hook = o.Hook
 		rounds, done := c.Run(o.MaxRounds)
-		return Result{Rounds: rounds, PrecomputeRounds: c.PrecomputeRounds, Done: done}, nil
+		return Result{
+			Rounds: rounds, PrecomputeRounds: c.PrecomputeRounds, Done: done,
+			Reached: c.Reached(), ReachTarget: c.ReachTarget(),
+		}, nil
 	case BGI, TruncatedDecay:
-		var bc *decay.Broadcast
-		if o.Algorithm == BGI {
-			bc = decay.NewBroadcast(n.G, decay.Config{}, o.Seed, sources)
-		} else {
-			bc = baseline.NewTruncatedDecay(n.G, n.Diameter, o.Seed, sources)
+		dcfg := decay.Config{Faults: o.Faults}
+		if o.Algorithm == TruncatedDecay {
+			dcfg.Levels = baseline.TruncatedDecayLevels(n.G.N(), n.Diameter)
 		}
+		bc := decay.NewBroadcast(n.G, dcfg, o.Seed, sources)
 		bc.Engine.Hook = o.Hook
 		budget := o.MaxRounds
 		if budget <= 0 {
@@ -221,7 +244,7 @@ func (n *Network) Compete(sources map[int]int64, o BroadcastOptions) (Result, er
 			budget = 20 * (int64(n.Diameter) + l) * l
 		}
 		rounds, done := bc.Run(budget)
-		return Result{Rounds: rounds, Done: done}, nil
+		return Result{Rounds: rounds, Done: done, Reached: bc.Reached(), ReachTarget: bc.ReachTarget()}, nil
 	default:
 		return Result{}, fmt.Errorf("radionet: unknown algorithm %q", o.Algorithm)
 	}
