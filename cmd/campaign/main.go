@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"radionet/internal/campaign"
+	"radionet/internal/protocol"
 )
 
 func main() {
@@ -41,7 +42,7 @@ func main() {
 func run() error {
 	var (
 		topos   = flag.String("topos", "", "comma-separated topology specs, e.g. grid:16x16,path:256,gnp:400:0.01")
-		task    = flag.String("task", "broadcast", "default task for unqualified -algos entries: broadcast|leader")
+		task    = flag.String("task", "broadcast", "default task for unqualified -algos entries: any registered task (see -list)")
 		algos   = flag.String("algos", "", "comma-separated algorithms, optionally task-qualified, e.g. cd17,bgi or leader:cd17")
 		faults  = flag.String("faults", "", "comma-separated fault specs crossed with every cell, e.g. none,crash:0.3@50,jam:0.05:p0.2,loss:0.1 ('+'-join terms to compose)")
 		seeds   = flag.Int("seeds", 10, "independent trials per configuration")
@@ -54,9 +55,14 @@ func run() error {
 		preset  = flag.String("preset", "", "built-in matrix preset: "+strings.Join(campaign.PresetNames(), "|")+" (flags override as with -config)")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile (post-GC, at exit) to this file")
+		list    = flag.Bool("list", false, "print the registered algorithm table (task, name, aliases, capabilities) and exit")
 	)
 	flag.Parse()
 
+	if *list {
+		fmt.Print(protocol.MarkdownTable())
+		return nil
+	}
 	if *preset != "" && *config != "" {
 		return fmt.Errorf("-preset and -config are mutually exclusive")
 	}
@@ -158,18 +164,17 @@ func splitList(s string) []string {
 }
 
 // parseAlgos parses "cd17,bgi" (using the default task) or task-qualified
-// entries like "leader:cd17" / "broadcast:bgi".
+// entries like "leader:cd17" / "multicast:pipelined". Tasks are whatever
+// the protocol registry knows (see -list), not a hardcoded pair.
 func parseAlgos(s string, def campaign.Task) ([]campaign.AlgoSpec, error) {
 	var specs []campaign.AlgoSpec
 	for _, entry := range splitList(s) {
 		spec := campaign.AlgoSpec{Task: def, Algo: entry}
 		if t, a, ok := strings.Cut(entry, ":"); ok {
-			switch campaign.Task(t) {
-			case campaign.Broadcast, campaign.Leader:
-				spec = campaign.AlgoSpec{Task: campaign.Task(t), Algo: a}
-			default:
+			if !protocol.KnownTask(protocol.Task(t)) {
 				return nil, fmt.Errorf("algorithm %q: unknown task %q", entry, t)
 			}
+			spec = campaign.AlgoSpec{Task: campaign.Task(t), Algo: a}
 		}
 		specs = append(specs, spec)
 	}

@@ -1,14 +1,20 @@
-// Command radiosim runs a broadcasting or leader election protocol on a
-// generated radio network topology and prints the outcome. With -trials N
-// it fans N independently seeded runs of the same scenario out across the
-// campaign worker pool and prints aggregate round statistics.
+// Command radiosim runs a protocol from the algorithm registry on a
+// generated radio network topology and prints the outcome. The task and
+// algorithm catalogue is whatever internal/protocol knows — print it with
+// -list. With -trials N it fans N independently seeded runs of the same
+// scenario out across the campaign worker pool and prints aggregate round
+// statistics.
 //
 // Examples:
 //
+//	radiosim -list
 //	radiosim -topology grid -rows 16 -cols 64 -algo cd17
 //	radiosim -topology cliquepath -k 32 -s 8 -algo bgi -seed 7
 //	radiosim -topology geometric -n 500 -radius 0.08 -task leader
+//	radiosim -topology grid -task leader -algo gh13
+//	radiosim -topology grid -task multicast -algo pipelined
 //	radiosim -topology grid -algo cd17 -trials 100 -workers 8
+//	radiosim -topology grid -task leader -algo cd17 -faults crash:0.2@50
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"radionet"
 	"radionet/internal/campaign"
+	"radionet/internal/protocol"
 	"radionet/internal/rng"
 	"radionet/internal/stats"
 	"radionet/internal/trace"
@@ -41,18 +48,32 @@ func run() error {
 		radius   = flag.Float64("radius", 0.1, "geometric radius")
 		p        = flag.Float64("p", 0.02, "gnp edge probability")
 		dim      = flag.Int("dim", 8, "hypercube dimension")
-		task     = flag.String("task", "broadcast", "task: broadcast|leader")
-		algo     = flag.String("algo", "cd17", "broadcast algo: cd17|hw16|bgi|truncated-decay; leader algo: cd17|binary-search|max-broadcast")
+		task     = flag.String("task", "broadcast", "task: any registered task (see -list)")
+		algo     = flag.String("algo", "cd17", "algorithm name or alias for the task (see -list)")
 		seed     = flag.Uint64("seed", 1, "master seed")
 		value    = flag.Int64("value", 42, "broadcast message value")
 		source   = flag.Int("source", 0, "broadcast source node")
 		max      = flag.Int64("maxrounds", 0, "round budget (0 = algorithm default)")
 		doTrace  = flag.Bool("trace", false, "print a channel activity report after the run")
-		faults   = flag.String("faults", "", "fault scenario spec for broadcast runs, e.g. crash:0.3@50+jam:0.05:p0.2 (campaign grammar)")
+		faults   = flag.String("faults", "", "fault scenario spec, e.g. crash:0.3@50+jam:0.05:p0.2 (fault-capable algorithms only; campaign grammar)")
 		trials   = flag.Int("trials", 1, "independent runs of the scenario (each with a seed derived from -seed)")
 		workers  = flag.Int("workers", 0, "worker goroutines for -trials fan-out (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "print the registered algorithm table (task, name, aliases, capabilities) and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Print(protocol.MarkdownTable())
+		return nil
+	}
+
+	desc, ok := protocol.Lookup(protocol.Task(*task), *algo)
+	if !ok {
+		if !protocol.KnownTask(protocol.Task(*task)) {
+			return fmt.Errorf("unknown task %q (see -list)", *task)
+		}
+		return fmt.Errorf("unknown %s algorithm %q (known: %s)", *task, *algo, protocol.KnownList(protocol.Task(*task)))
+	}
 
 	var faultSpec campaign.FaultSpec
 	if *faults != "" {
@@ -60,8 +81,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if *task != "broadcast" {
-			return fmt.Errorf("-faults supports -task broadcast only")
+		if !desc.Caps.Faults && !fs.None() {
+			return fmt.Errorf("algorithm %s:%s does not support -faults", *task, desc.Name)
 		}
 		faultSpec = fs
 	}
@@ -96,7 +117,7 @@ func run() error {
 		if *doTrace {
 			return fmt.Errorf("-trace requires a single run (drop -trials)")
 		}
-		return runTrials(net, *task, *algo, faultSpec, *seed, *value, *source, *max, *trials, *workers)
+		return runTrials(net, desc, *task, *algo, faultSpec, *seed, *value, *source, *max, *trials, *workers)
 	}
 
 	switch *task {
@@ -106,7 +127,7 @@ func run() error {
 			Algorithm: radionet.Algorithm(*algo),
 			Seed:      *seed,
 			MaxRounds: *max,
-			Faults:    faultPlan(net, faultSpec, *seed, *source),
+			Faults:    faultPlan(net, desc, faultSpec, *seed, *source, *value),
 		}
 		if *doTrace {
 			rec = &trace.Recorder{}
@@ -131,38 +152,89 @@ func run() error {
 			return fmt.Errorf("broadcast did not complete within budget")
 		}
 	case "leader":
-		res, err := net.LeaderElection(radionet.LeaderOptions{
+		opts := radionet.LeaderOptions{
 			Algorithm: radionet.LeaderAlgorithm(*algo),
 			Seed:      *seed,
 			MaxRounds: *max,
-		})
+			Faults:    faultPlan(net, desc, faultSpec, *seed, *source, *value),
+		}
+		res, err := net.LeaderElection(opts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("leader(%s): done=%v rounds=%d leader=node%d id=%d candidates=%d\n",
 			*algo, res.Done, res.Rounds, res.Leader, res.LeaderID, len(res.Candidates))
+		if opts.Faults != nil {
+			fmt.Printf("faults(%s): survivors=%d reach=%d/%d\n",
+				faultSpec.Spec, opts.Faults.Survivors(), res.Reached, res.ReachTarget)
+		}
 		if !res.Done {
 			return fmt.Errorf("election did not complete within budget")
 		}
 	default:
-		return fmt.Errorf("unknown task %q", *task)
+		// Any other registered task runs straight off its descriptor.
+		res, err := registryRun(net, desc, faultSpec, *seed, *value, *source, *max)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s(%s): done=%v rounds=%d tx=%d\n", *task, *algo, res.Done, res.Rounds, res.Tx)
+		if !res.Done {
+			return fmt.Errorf("%s did not complete within budget", *task)
+		}
 	}
 	return nil
 }
 
 // faultPlan realizes fs on the network for one run seeded by seed,
-// protecting the broadcast source (the campaign convention). Returns nil
-// for the unfaulted spec; each run needs its own plan (plans are
-// single-use).
-func faultPlan(net *radionet.Network, fs campaign.FaultSpec, seed uint64, source int) *radionet.FaultPlan {
-	return fs.TrialPlan(net.G, seed, source)
+// protecting the descriptor's protected nodes — the broadcast source, a
+// leader election's would-be winner — exactly as the campaign does.
+// Returns nil for the unfaulted spec; each run needs its own plan (plans
+// are single-use).
+func faultPlan(net *radionet.Network, desc *protocol.Descriptor, fs campaign.FaultSpec, seed uint64, source int, value int64) *radionet.FaultPlan {
+	if fs.None() {
+		return nil // skip ProtectedNodes: it may resample a candidate set
+	}
+	sources := trialSources(desc, source, value)
+	return fs.TrialPlan(net.G, seed, desc.ProtectedNodes(net.G, net.Diameter, seed, sources, nil)...)
+}
+
+// trialSources maps the -source/-value flags onto the descriptor's
+// source-set convention (nil for self-seeding descriptors like the
+// leader elections).
+func trialSources(desc *protocol.Descriptor, source int, value int64) map[int]int64 {
+	if desc.DefaultSources() == nil {
+		return nil
+	}
+	return map[int]int64{source: value}
+}
+
+// registryRun executes one run of a registry task that has no facade
+// sugar (multicast, partition, and whatever gets registered next). Done
+// is gated on the descriptor's postcondition check exactly as the
+// campaign and the facade gate it — the CLIs must agree on one seed.
+func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64) (protocol.Result, error) {
+	r, err := desc.Build(protocol.BuildParams{
+		G:       net.G,
+		D:       net.Diameter,
+		Seed:    seed,
+		Sources: trialSources(desc, source, value),
+		Faults:  faultPlan(net, desc, fs, seed, source, value),
+	})
+	if err != nil {
+		return protocol.Result{}, err
+	}
+	res := r.Run(max)
+	if res.Done && res.Verify != nil && res.Verify() != nil {
+		res.Done = false
+	}
+	return res, nil
 }
 
 // runTrials is the -trials fan-out mode: n independent runs of the same
 // scenario across the campaign worker pool, each with its own RNG stream
 // derived from the master seed, reduced to aggregate round statistics.
 // Output is identical for every -workers value.
-func runTrials(net *radionet.Network, task, algo string, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, trials, workers int) error {
+func runTrials(net *radionet.Network, desc *protocol.Descriptor, task, algo string, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, trials, workers int) error {
 	seeds := rng.New(seed).Fork(0x7215)
 	rounds := make([]float64, trials)
 	failed := make([]bool, trials)
@@ -179,7 +251,7 @@ func runTrials(net *radionet.Network, task, algo string, fs campaign.FaultSpec, 
 				Algorithm: radionet.Algorithm(algo),
 				Seed:      trialSeed,
 				MaxRounds: max,
-				Faults:    faultPlan(net, fs, trialSeed, source),
+				Faults:    faultPlan(net, desc, fs, trialSeed, source, value),
 			})
 		case "leader":
 			var lr radionet.LeaderResult
@@ -187,10 +259,13 @@ func runTrials(net *radionet.Network, task, algo string, fs campaign.FaultSpec, 
 				Algorithm: radionet.LeaderAlgorithm(algo),
 				Seed:      trialSeed,
 				MaxRounds: max,
+				Faults:    faultPlan(net, desc, fs, trialSeed, source, value),
 			})
 			res = lr.Result
 		default:
-			err = fmt.Errorf("unknown task %q", task)
+			var pres protocol.Result
+			pres, err = registryRun(net, desc, fs, trialSeed, value, source, max)
+			res = radionet.Result{Rounds: pres.Rounds, Done: pres.Done}
 		}
 		if err != nil {
 			errs[i] = err // a config error; identical for every trial

@@ -27,6 +27,8 @@ import (
 	"radionet/internal/compete"
 	"radionet/internal/decay"
 	"radionet/internal/graph"
+	"radionet/internal/protocol"
+	"radionet/internal/radio"
 	"radionet/internal/rng"
 )
 
@@ -68,6 +70,9 @@ type LEResult struct {
 	Done     bool
 	LeaderID int64 // the agreed ID (undefined if !Done)
 	Leader   int   // the elected node (-1 if !Done)
+	// Tx is the total engine transmission count, summed over every
+	// broadcast the election ran (binary-search runs one per ID bit).
+	Tx int64
 }
 
 // BinarySearchLE is the classical reduction [2]: a network-wide binary
@@ -113,7 +118,7 @@ func (b *BinarySearchLE) Candidates() map[int]int64 { return b.candidates }
 // the classical analysis (iterations are budget-bound, not adaptive).
 func (b *BinarySearchLE) Run() LEResult {
 	prefix := int64(0)
-	var rounds int64
+	var rounds, tx int64
 	for bit := b.idBits - 1; bit >= 0; bit-- {
 		probe := prefix | 1<<uint(bit)
 		sources := make(map[int]int64)
@@ -130,6 +135,7 @@ func (b *BinarySearchLE) Run() LEResult {
 		}
 		bc := decay.NewBroadcast(b.g, decay.Config{}, b.seed+uint64(bit)+1, sources)
 		bc.Run(b.tbc)
+		tx += bc.Engine.Metrics.Transmissions
 		// In the model every node that heard anything learns the bit is 1.
 		// The oracle checks the source set was non-empty, which is what
 		// reception signals; nodes that heard nothing within T_BC would
@@ -143,7 +149,7 @@ func (b *BinarySearchLE) Run() LEResult {
 			leader = v
 		}
 	}
-	return LEResult{Rounds: rounds, Done: leader >= 0, LeaderID: winner, Leader: leader}
+	return LEResult{Rounds: rounds, Done: leader >= 0, LeaderID: winner, Leader: leader, Tx: tx}
 }
 
 // MaxBroadcastLE elects a leader with a single multi-source max-propagating
@@ -157,6 +163,17 @@ type MaxBroadcastLE struct {
 // NewMaxBroadcastLE samples candidates as in Algorithm 6 and prepares the
 // broadcast. budget 0 selects 6·(D+log n)·log n.
 func NewMaxBroadcastLE(g *graph.Graph, d int, seed uint64, candC float64, idBits int, budget int64) (*MaxBroadcastLE, error) {
+	return NewMaxBroadcastLEFaults(g, d, seed, candC, idBits, budget, nil)
+}
+
+// NewMaxBroadcastLEFaults is NewMaxBroadcastLE with a fault scenario
+// installed on the underlying Decay broadcast; completion becomes
+// survivor-scoped (see decay.Config.Faults). The election stays winnable
+// only while the maximum-ID candidate survives — the campaign's fault
+// planning protects that node (the protect-the-winner convention); with
+// the winner crashed the run exhausts its budget with Done == false
+// rather than elect a wrong leader.
+func NewMaxBroadcastLEFaults(g *graph.Graph, d int, seed uint64, candC float64, idBits int, budget int64, plan *radio.FaultPlan) (*MaxBroadcastLE, error) {
 	cands, err := SampleCandidates(g.N(), seed, candC, idBits)
 	if err != nil {
 		return nil, err
@@ -166,7 +183,7 @@ func NewMaxBroadcastLE(g *graph.Graph, d int, seed uint64, candC float64, idBits
 		budget = 6 * (int64(d) + l) * l
 	}
 	return &MaxBroadcastLE{
-		bc:         decay.NewBroadcast(g, decay.Config{}, seed, cands),
+		bc:         decay.NewBroadcast(g, decay.Config{Faults: plan}, seed, cands),
 		candidates: cands,
 		budget:     budget,
 	}, nil
@@ -178,19 +195,30 @@ func (m *MaxBroadcastLE) Candidates() map[int]int64 { return m.candidates }
 // Run executes the broadcast until all nodes agree on the maximum ID.
 func (m *MaxBroadcastLE) Run() LEResult {
 	rounds, done := m.bc.Run(m.budget)
-	res := LEResult{Rounds: rounds, Done: done, Leader: -1}
+	res := LEResult{Rounds: rounds, Done: done, Leader: -1, Tx: m.bc.Engine.Metrics.Transmissions}
 	if !done {
 		return res
 	}
-	var max int64 = -1
-	for v, id := range m.candidates {
-		if id > max {
-			max = id
-			res.Leader = v
+	res.Leader, res.LeaderID = protocol.MaxIDNode(m.candidates)
+	return res
+}
+
+// Verify checks the election postcondition after a Done run: every node
+// in the (survivor-scoped) completion target learned the maximum
+// candidate ID. It is an independent full scan, not a read of the
+// completion counter.
+func (m *MaxBroadcastLE) Verify() error {
+	_, max := protocol.MaxIDNode(m.candidates)
+	counted := m.bc.Counted()
+	for v, got := range m.bc.Values() {
+		if counted != nil && !counted[v] {
+			continue // outside the survivor-scoped completion target
+		}
+		if got != max {
+			return fmt.Errorf("baseline: node %d outputs %d, want %d", v, got, max)
 		}
 	}
-	res.LeaderID = max
-	return res
+	return nil
 }
 
 // SampleCandidates draws the Algorithm-6 candidate set: each node becomes

@@ -22,20 +22,40 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"radionet/internal/graph"
+	"radionet/internal/protocol"
 	"radionet/internal/rng"
 )
 
-// Task names the protocol problem a trial solves.
-type Task string
+// Task names the protocol problem a trial solves. It aliases
+// protocol.Task: any task with registered descriptors — including tasks
+// introduced by new algorithm packages — is runnable in a matrix.
+type Task = protocol.Task
 
-// Supported tasks.
+// The two historical tasks, re-exported for convenience; see
+// protocol.Tasks() for the full live set.
 const (
-	Broadcast Task = "broadcast"
-	Leader    Task = "leader"
+	Broadcast = protocol.Broadcast
+	Leader    = protocol.Leader
 )
+
+// faultCapable renders the task's fault-capable algorithm names for
+// error messages ("cd17 hw16 ..." or "none").
+func faultCapable(task Task) string {
+	var names []string
+	for _, d := range protocol.ByTask(task) {
+		if d.Caps.Faults {
+			names = append(names, d.Name)
+		}
+	}
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, " ")
+}
 
 // AlgoSpec selects one algorithm for one task.
 type AlgoSpec struct {
@@ -128,14 +148,20 @@ func (m Matrix) Expand() (*Plan, error) {
 	if m.Seeds <= 0 {
 		return nil, fmt.Errorf("campaign: matrix needs seeds > 0")
 	}
-	for _, a := range m.Algorithms {
-		if err := validateAlgo(a); err != nil {
+	descs := make([]*protocol.Descriptor, len(m.Algorithms))
+	for i, a := range m.Algorithms {
+		d, err := lookup(a)
+		if err != nil {
 			return nil, err
 		}
+		descs[i] = d
 	}
 	// The fault axis: one FaultSpec per configuration. An empty axis
 	// expands to the single zero spec, leaving configuration indices (and
-	// hence trial seeds) identical to a matrix without the axis.
+	// hence trial seeds) identical to a matrix without the axis. Crossing
+	// an effective fault spec with an algorithm whose descriptor lacks the
+	// fault capability is a loud configuration error — never a silently
+	// unfaulted run.
 	faults := []FaultSpec{{}}
 	if len(m.Faults) > 0 {
 		faults = faults[:0]
@@ -146,9 +172,15 @@ func (m Matrix) Expand() (*Plan, error) {
 			}
 			faults = append(faults, fs)
 		}
-		for _, a := range m.Algorithms {
-			if a.Task != Broadcast {
-				return nil, fmt.Errorf("campaign: fault axis supports broadcast tasks only (got %s); the leader-election composites run internal broadcasts the overlay cannot reach yet", a)
+		for i, a := range m.Algorithms {
+			if descs[i].Caps.Faults {
+				continue
+			}
+			for _, fs := range faults {
+				if !fs.None() {
+					return nil, fmt.Errorf("campaign: algorithm %s does not support the fault axis (spec %q); fault-capable %s algorithms: %s",
+						a, fs.Spec, a.Task, faultCapable(protocol.Task(a.Task)))
+				}
 			}
 		}
 	}

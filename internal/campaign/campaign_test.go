@@ -179,7 +179,7 @@ func TestRunTrialAllBroadcastAlgos(t *testing.T) {
 	topo, _ := ParseTopology("grid:4x8")
 	g := topo.Build(1)
 	cfg := Config{Topology: "grid:4x8", G: g, D: g.DiameterEstimate()}
-	for _, algo := range []string{"cd17", "hw16", "bgi", "truncated-decay"} {
+	for _, algo := range []string{"cd17", "hw16", "bgi", "truncated-decay", "cd-beep"} {
 		cfg.Spec = AlgoSpec{Task: Broadcast, Algo: algo}
 		res := RunTrial(&cfg, 3, 0)
 		if !res.Done || res.Err != "" {
@@ -206,7 +206,7 @@ func TestRunTrialMaxRoundsCapsEveryLeaderAlgo(t *testing.T) {
 	g := topo.Build(1)
 	cfg := Config{Topology: "grid:4x8", G: g, D: g.DiameterEstimate()}
 	const cap = 400
-	for _, algo := range []string{"cd17", "binary-search", "max-broadcast"} {
+	for _, algo := range []string{"cd17", "binary-search", "max-broadcast", "gh13"} {
 		cfg.Spec = AlgoSpec{Task: Leader, Algo: algo}
 		res := RunTrial(&cfg, 3, cap)
 		if res.Err != "" {
@@ -214,6 +214,44 @@ func TestRunTrialMaxRoundsCapsEveryLeaderAlgo(t *testing.T) {
 		}
 		if res.Rounds > cap {
 			t.Errorf("%s: ran %d rounds, cap %d", algo, res.Rounds, cap)
+		}
+	}
+}
+
+// TestRunTrialLeaderMetrics is the satellite-2 regression: every leader
+// algorithm — including the composite baselines that used to report
+// Tx: 0 — surfaces its engine transmission counts, and the new tasks
+// registered through the protocol seam run as campaign trials with no
+// campaign code knowing their names.
+func TestRunTrialLeaderMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full protocol trials")
+	}
+	topo, _ := ParseTopology("grid:4x8")
+	g := topo.Build(1)
+	cfg := Config{Topology: "grid:4x8", G: g, D: g.DiameterEstimate()}
+	for _, algo := range []string{"cd17", "binary-search", "max-broadcast", "gh13"} {
+		cfg.Spec = AlgoSpec{Task: Leader, Algo: algo}
+		res := RunTrial(&cfg, 3, 0)
+		if !res.Done || res.Err != "" {
+			t.Errorf("%s: %+v", algo, res)
+		}
+		if res.Tx <= 0 {
+			t.Errorf("%s: Tx = %d, want > 0", algo, res.Tx)
+		}
+	}
+	for _, spec := range []AlgoSpec{
+		{Task: "multicast", Algo: "pipelined"},
+		{Task: "multicast", Algo: "sequential"},
+		{Task: "partition", Algo: "mpx"},
+	} {
+		cfg.Spec = spec
+		res := RunTrial(&cfg, 3, 0)
+		if !res.Done || res.Err != "" {
+			t.Errorf("%s: %+v", spec, res)
+		}
+		if res.Rounds <= 0 || res.Tx <= 0 {
+			t.Errorf("%s: empty metrics %+v", spec, res)
 		}
 	}
 }

@@ -141,15 +141,86 @@ func TestFaultedCampaign(t *testing.T) {
 	}
 }
 
-func TestFaultAxisRejectsLeaderTasks(t *testing.T) {
+// TestFaultedLeaderCampaign is the satellite-1 regression: the Faults
+// axis applies to fault-capable leader algorithms — threaded through the
+// registry capability, with the would-be winner protected — and faulted
+// leader trials terminate with verified elections and full survivor
+// reach, deterministically at any worker count.
+func TestFaultedLeaderCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full protocol trials")
+	}
+	m := Matrix{
+		Topologies: []string{"grid:6x6"},
+		Algorithms: []AlgoSpec{
+			{Task: Leader, Algo: "cd17"},
+			{Task: Leader, Algo: "max-broadcast"},
+		},
+		Faults:     []string{"none", "crash:0.3@20"},
+		Seeds:      3,
+		MasterSeed: 7,
+	}
+	run := func(workers int) ([]ConfigSummary, string) {
+		var buf bytes.Buffer
+		s, err := NewSink("jsonl", &buf, m.SinkSchema(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums, err := (&Campaign{Matrix: m, Workers: workers}).Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums, buf.String()
+	}
+	sums, out1 := run(1)
+	_, out8 := run(8)
+	if out1 != out8 {
+		t.Errorf("faulted leader campaign output differs between 1 and 8 workers:\n%s\nvs\n%s", out1, out8)
+	}
+	if len(sums) != 4 {
+		t.Fatalf("%d summaries, want 4 (2 algos x 2 faults)", len(sums))
+	}
+	for _, s := range sums {
+		if s.Failures != 0 {
+			t.Errorf("%s %s %s: %d failed trials (faulted leader runs must terminate): %+v",
+				s.Topology, s.Algo, s.Faults, s.Failures, s.FailReasons)
+		}
+		if s.Reach == nil || s.Reach.Mean != 1 {
+			t.Errorf("%s %s %s: reach %+v, want 1.0 over the winner-reachable survivors", s.Topology, s.Algo, s.Faults, s.Reach)
+		}
+	}
+}
+
+// TestFaultAxisCapabilityValidation pins the registry-driven fault-axis
+// rules: an effective fault spec crossed with a fault-incapable algorithm
+// is a loud configuration error (never a silently unfaulted run), while
+// fault-capable leader algorithms are accepted — the axis is gated by the
+// descriptor capability, not by the task.
+func TestFaultAxisCapabilityValidation(t *testing.T) {
 	m := Matrix{
 		Topologies: []string{"path:8"},
-		Algorithms: []AlgoSpec{{Task: Leader, Algo: "cd17"}},
+		Algorithms: []AlgoSpec{{Task: Leader, Algo: "binary-search"}},
 		Faults:     []string{"crash:0.3@50"},
 		Seeds:      1,
 	}
 	if _, err := m.Expand(); err == nil {
-		t.Fatal("fault axis accepted a leader task")
+		t.Fatal("fault axis accepted a fault-incapable algorithm")
+	} else if !strings.Contains(err.Error(), "does not support the fault axis") {
+		t.Fatalf("wrong error: %v", err)
+	}
+	// The explicit "none" baseline alone is fine on any algorithm: it
+	// fixes the schema without injecting faults.
+	m.Faults = []string{"none"}
+	if _, err := m.Expand(); err != nil {
+		t.Fatalf("none-only axis rejected: %v", err)
+	}
+	// Fault-capable leader algorithms take the axis.
+	m.Faults = []string{"none", "crash:0.3@50"}
+	for _, algo := range []string{"cd17", "max-broadcast"} {
+		m.Algorithms = []AlgoSpec{{Task: Leader, Algo: algo}}
+		if _, err := m.Expand(); err != nil {
+			t.Fatalf("fault-capable leader %q rejected: %v", algo, err)
+		}
 	}
 	m.Faults = []string{"not-a-spec"}
 	m.Algorithms = []AlgoSpec{{Task: Broadcast, Algo: "bgi"}}

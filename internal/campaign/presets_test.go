@@ -25,7 +25,7 @@ func TestPresetsAreWellFormed(t *testing.T) {
 			}
 		}
 		for _, a := range m.Algorithms {
-			if err := validateAlgo(a); err != nil {
+			if _, err := lookup(a); err != nil {
 				t.Fatalf("preset %q: %v", name, err)
 			}
 		}

@@ -4,59 +4,58 @@ import (
 	"fmt"
 	"time"
 
-	"radionet/internal/baseline"
-	"radionet/internal/compete"
-	"radionet/internal/decay"
+	"radionet/internal/protocol"
 	"radionet/internal/radio"
+
+	// Populate the protocol registry with the full algorithm catalogue.
+	// This import — not any code in this package — decides what a
+	// campaign can run; new algorithms register themselves and need no
+	// changes here.
+	_ "radionet/internal/protocol/all"
 )
 
-// Broadcast and leader-election algorithm names accepted in AlgoSpec,
-// matching the radionet facade constants.
-var (
-	broadcastAlgos = map[string]bool{
-		"cd17": true, "hw16": true, "bgi": true, "truncated-decay": true,
-	}
-	leaderAlgos = map[string]bool{
-		"cd17": true, "binary-search": true, "max-broadcast": true,
-	}
-)
-
-func validateAlgo(a AlgoSpec) error {
-	switch a.Task {
-	case Broadcast:
-		if !broadcastAlgos[a.Algo] {
-			return fmt.Errorf("campaign: unknown broadcast algorithm %q (known: cd17 hw16 bgi truncated-decay)", a.Algo)
+// lookup resolves an AlgoSpec against the protocol registry.
+func lookup(a AlgoSpec) (*protocol.Descriptor, error) {
+	task := protocol.Task(a.Task)
+	if !protocol.KnownTask(task) {
+		known := ""
+		for i, t := range protocol.Tasks() {
+			if i > 0 {
+				known += " "
+			}
+			known += string(t)
 		}
-	case Leader:
-		if !leaderAlgos[a.Algo] {
-			return fmt.Errorf("campaign: unknown leader algorithm %q (known: cd17 binary-search max-broadcast)", a.Algo)
-		}
-	default:
-		return fmt.Errorf("campaign: unknown task %q (known: broadcast leader)", a.Task)
+		return nil, fmt.Errorf("campaign: unknown task %q (known: %s)", a.Task, known)
 	}
-	return nil
+	desc, ok := protocol.Lookup(task, a.Algo)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown %s algorithm %q (known: %s)", a.Task, a.Algo, protocol.KnownList(task))
+	}
+	return desc, nil
 }
 
 // TrialResult reports one protocol run.
 type TrialResult struct {
 	// Rounds is the executed round count (budget-capped on failure).
 	Rounds int64
-	// Tx is the total transmission count where the algorithm exposes
-	// engine metrics (0 for the composite leader-election baselines,
-	// which run their broadcasts internally).
+	// Tx is the total engine transmission count, summed over every engine
+	// the trial drove (composite runners like binary-search LE run one
+	// per ID bit).
 	Tx int64
-	// Done reports completion within budget (and, for leader election,
-	// a verified postcondition where the algorithm supports it).
+	// Done reports completion within budget and, where the algorithm
+	// exposes a postcondition check (protocol.Result.Verify), a verified
+	// postcondition.
 	Done bool
 	// Err records a constructor failure; the trial counts as failed.
 	Err string
 	// Reason classifies a failed trial: "" for completed trials, "budget"
-	// when the round budget ran out, "error" on a constructor failure.
+	// when the round budget ran out, "verify" when the run finished but
+	// its postcondition check failed, "error" on a constructor failure.
 	Reason string
 	// Survivors, Reached and ReachTarget are the fault-axis reach
 	// accounting (zero on campaigns without a fault axis): never-crashing
-	// nodes, nodes that learned the message among the completion target,
-	// and the survivor-scoped completion target itself.
+	// nodes, nodes that reached the completion condition among the
+	// completion target, and the survivor-scoped completion target itself.
 	Survivors   int
 	Reached     int
 	ReachTarget int
@@ -65,40 +64,30 @@ type TrialResult struct {
 	Wall time.Duration
 }
 
-// decayBudget is the whp-sufficient Decay budget used when MaxRounds is 0,
-// mirroring the radionet facade: 20·(D+L)·L with L = ceil(log2 n) levels.
-func decayBudget(n, d int) int64 {
-	l := int64(decay.Levels(n))
-	return 20 * (int64(d) + l) * l
-}
-
 // Scratch carries the reusable, seed-independent part of one Config's
-// per-trial work: for the compete-pipeline algorithms (cd17, hw16) a
-// shared compete.Pre, so repeated trials on the same graph skip the
-// parameter-grid computation and recycle the Partition/schedule build
-// buffers. A Scratch is safe for concurrent use — workers at any -workers
-// value may share one — and sharing it changes no output bit (the
-// per-seed randomness is drawn exactly as without it).
+// per-trial work, built by the configuration's descriptor (e.g. a shared
+// compete.Pre for the clustering pipeline, so repeated trials on the same
+// graph skip the parameter-grid computation). A Scratch is safe for
+// concurrent use — workers at any -workers value may share one — and
+// sharing it changes no output bit (the per-seed randomness is drawn
+// exactly as without it).
 type Scratch struct {
-	pre *compete.Pre // non-nil for compete-pipeline configs
+	val any
 }
 
-// NewScratch builds the per-config scratch for cfg. Configs outside the
-// compete pipeline get an empty scratch (their trials have no reusable
-// seed-independent precomputation).
+// NewScratch builds the per-config scratch for cfg. Configs whose
+// descriptor has no reusable precomputation (or that fail to resolve —
+// Expand reports that loudly) get an empty scratch.
 func NewScratch(cfg *Config) *Scratch {
-	s := &Scratch{}
-	switch {
-	case cfg.Spec.Task == Broadcast && (cfg.Spec.Algo == "cd17" || cfg.Spec.Algo == "hw16"):
-		s.pre = compete.NewPre(cfg.G, cfg.D, compete.Config{CurtailLogLog: cfg.Spec.Algo == "hw16"})
-	case cfg.Spec.Task == Leader && cfg.Spec.Algo == "cd17":
-		s.pre = compete.NewPre(cfg.G, cfg.D, compete.Config{})
+	desc, err := lookup(cfg.Spec)
+	if err != nil || desc.NewScratch == nil {
+		return &Scratch{}
 	}
-	return s
+	return &Scratch{val: desc.NewScratch(cfg.G, cfg.D, nil)}
 }
 
 // RunTrial executes one trial of cfg with the given RNG stream seed.
-// maxRounds 0 selects a per-algorithm whp-sufficient budget.
+// maxRounds 0 selects the algorithm's registered whp-sufficient budget.
 func RunTrial(cfg *Config, seed uint64, maxRounds int64) TrialResult {
 	return RunTrialScratch(cfg, seed, maxRounds, nil)
 }
@@ -108,10 +97,10 @@ func RunTrial(cfg *Config, seed uint64, maxRounds int64) TrialResult {
 // precomputation across a configuration's seed axis. A nil scr builds a
 // fresh scratch for this trial alone.
 func RunTrialScratch(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResult {
-	if scr == nil || scr.pre == nil {
-		// Also rebuilds a zero-valued Scratch handed in for a
-		// compete-pipeline config, which would otherwise panic in the
-		// constructor; for other configs the rebuilt scratch is empty too.
+	if scr == nil || scr.val == nil {
+		// Also rebuilds a zero-valued Scratch handed in for a config whose
+		// descriptor expects one; for scratch-free configs the rebuilt
+		// scratch is empty too.
 		scr = NewScratch(cfg)
 	}
 	start := time.Now()
@@ -122,17 +111,18 @@ func RunTrialScratch(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) Tr
 
 // trialPlan realizes cfg's fault spec for one trial: fault sites and coin
 // streams derive from the trial seed (deterministic at any worker count),
-// and the broadcast source (node 0) is protected so the completion target
-// never collapses to the empty set.
-func trialPlan(cfg *Config, seed uint64) *radio.FaultPlan {
-	return cfg.Fault.TrialPlan(cfg.G, seed, 0)
+// and the descriptor's protected nodes — the broadcast source, a leader
+// election's would-be winner — are never selected, so the completion
+// target never collapses to the empty set.
+func trialPlan(cfg *Config, desc *protocol.Descriptor, seed uint64, sources map[int]int64) *radio.FaultPlan {
+	return cfg.Fault.TrialPlan(cfg.G, seed, desc.ProtectedNodes(cfg.G, cfg.D, seed, sources, nil)...)
 }
 
-// faultResult fills the fault-axis fields of a broadcast trial's result.
-// Campaigns without a fault axis (Fault.Spec == "") leave them zero so
-// their aggregates — and sink bytes — are unchanged.
+// faultResult fills the fault-axis fields of a trial's result. Campaigns
+// without a fault axis (Fault.Spec == "") leave them zero so their
+// aggregates — and sink bytes — are unchanged.
 func faultResult(res TrialResult, cfg *Config, plan *radio.FaultPlan, reached, target int) TrialResult {
-	if !res.Done {
+	if !res.Done && res.Reason == "" {
 		res.Reason = "budget"
 	}
 	if cfg.Fault.Spec == "" {
@@ -146,81 +136,42 @@ func faultResult(res TrialResult, cfg *Config, plan *radio.FaultPlan, reached, t
 	return res
 }
 
+// runTrial is the whole per-trial dispatch: resolve the descriptor,
+// realize the fault plan, build the runner, run it, verify. Every
+// algorithm-specific decision — constructors, budget defaults, metric
+// extraction — lives behind the registry.
 func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResult {
-	fail := func(err error) TrialResult { return TrialResult{Err: err.Error(), Reason: "error"} }
-	g, d := cfg.G, cfg.D
-	switch cfg.Spec.Task {
-	case Broadcast:
-		plan := trialPlan(cfg, seed)
-		switch cfg.Spec.Algo {
-		case "cd17", "hw16":
-			b, err := compete.NewBroadcastPreFaults(scr.pre, seed, 0, 9, plan)
-			if err != nil {
-				return fail(err)
-			}
-			budget := maxRounds
-			if budget <= 0 {
-				budget = 8 * b.Budget()
-			}
-			rounds, done := b.Run(budget)
-			res := TrialResult{Rounds: rounds, Tx: b.Engine.Metrics.Transmissions, Done: done}
-			return faultResult(res, cfg, plan, b.Reached(), b.ReachTarget())
-		case "bgi", "truncated-decay":
-			// truncated-decay is baseline.NewTruncatedDecay, inlined so the
-			// fault plan can ride in the decay Config.
-			dcfg := decay.Config{Faults: plan}
-			if cfg.Spec.Algo == "truncated-decay" {
-				dcfg.Levels = baseline.TruncatedDecayLevels(g.N(), d)
-			}
-			b := decay.NewBroadcast(g, dcfg, seed, map[int]int64{0: 9})
-			budget := maxRounds
-			if budget <= 0 {
-				budget = decayBudget(g.N(), d)
-			}
-			rounds, done := b.Run(budget)
-			res := TrialResult{Rounds: rounds, Tx: b.Engine.Metrics.Transmissions, Done: done}
-			return faultResult(res, cfg, plan, b.Reached(), b.ReachTarget())
-		}
-	case Leader:
-		switch cfg.Spec.Algo {
-		case "cd17":
-			le, err := compete.NewLeaderElectionPre(scr.pre, compete.LeaderConfig{}, seed)
-			if err != nil {
-				return fail(err)
-			}
-			budget := maxRounds
-			if budget <= 0 {
-				budget = 8 * le.Budget()
-			}
-			rounds, done := le.Run(budget)
-			done = done && le.Verify() == nil
-			return TrialResult{Rounds: rounds, Tx: le.Engine.Metrics.Transmissions, Done: done}
-		case "binary-search":
-			// Binary search charges its per-iteration broadcast budget tbc
-			// for each of the 40 default ID bits, so a trial cap maps to
-			// tbc = maxRounds/40 (floored to 1: the constructor treats
-			// tbc <= 0 as "use the whp default", which would un-cap).
-			tbc := int64(0)
-			if maxRounds > 0 {
-				tbc = maxRounds / 40
-				if tbc < 1 {
-					tbc = 1
-				}
-			}
-			le, err := baseline.NewBinarySearchLE(g, d, seed, 0, 0, tbc)
-			if err != nil {
-				return fail(err)
-			}
-			r := le.Run()
-			return TrialResult{Rounds: r.Rounds, Done: r.Done}
-		case "max-broadcast":
-			le, err := baseline.NewMaxBroadcastLE(g, d, seed, 0, 0, maxRounds)
-			if err != nil {
-				return fail(err)
-			}
-			r := le.Run()
-			return TrialResult{Rounds: r.Rounds, Done: r.Done}
-		}
+	desc, err := lookup(cfg.Spec)
+	if err != nil {
+		return TrialResult{Err: err.Error(), Reason: "error"}
 	}
-	return fail(fmt.Errorf("campaign: unrunnable spec %s", cfg.Spec))
+	sources := desc.DefaultSources()
+	var plan *radio.FaultPlan
+	// The None guard isn't just an optimization: ProtectedNodes may
+	// resample a leader election's candidate set, and unfaulted trials
+	// must not pay that per trial.
+	if desc.Caps.Faults && !cfg.Fault.None() {
+		plan = trialPlan(cfg, desc, seed, sources)
+	}
+	r, err := desc.Build(protocol.BuildParams{
+		G:       cfg.G,
+		D:       cfg.D,
+		Seed:    seed,
+		Sources: sources,
+		Faults:  plan,
+		Scratch: scr.val,
+	})
+	if err != nil {
+		return TrialResult{Err: err.Error(), Reason: "error"}
+	}
+	res := r.Run(maxRounds)
+	out := TrialResult{Rounds: res.Rounds, Tx: res.Tx, Done: res.Done}
+	if res.Done && res.Verify != nil && res.Verify() != nil {
+		// The run finished within budget but the postcondition failed —
+		// a distinct failure class fail_reasons must not fold into
+		// "budget".
+		out.Done = false
+		out.Reason = "verify"
+	}
+	return faultResult(out, cfg, plan, res.Reached, res.ReachTarget)
 }

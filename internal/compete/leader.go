@@ -78,29 +78,24 @@ func NewLeaderElection(g *graph.Graph, d int, cfg LeaderConfig, seed uint64) (*L
 	return NewLeaderElectionPre(NewPre(g, d, cfg.Config), cfg, seed)
 }
 
-// NewLeaderElectionPre is NewLeaderElection with the seed-independent
-// precomputation supplied externally: pre must come from
-// NewPre(g, d, cfg.Config) (see NewWithPre).
-func NewLeaderElectionPre(pre *Pre, cfg LeaderConfig, seed uint64) (*LeaderElection, error) {
-	g := pre.g
-	if g.N() == 0 {
-		return nil, errors.New("compete: empty graph")
-	}
+// SampleCandidates draws the Algorithm-6 candidate set for an n-node
+// network from seed: each node becomes a candidate with probability
+// CandidateC·ln n/n and draws a random IDBits-bit ID; empty or duplicate
+// samples are redrawn with a salted seed. The draw is a pure function of
+// (n, cfg, seed) — the same one NewLeaderElection performs — so callers
+// that need the candidate set before construction (e.g. fault planning
+// that must protect the would-be winner) see exactly the election's
+// candidates.
+func SampleCandidates(n int, cfg LeaderConfig, seed uint64) (map[int]int64, error) {
 	cfg = cfg.withDefaults()
-	n := g.N()
 	p := cfg.CandidateC * math.Log(float64(n)+2) / float64(n)
 	if p > 1 {
 		p = 1
 	}
 	idSpace := int64(1) << uint(cfg.IDBits)
-
-	var candidates map[int]int64
-	for salt := uint64(0); ; salt++ {
-		if salt > 1000 {
-			return nil, errors.New("compete: could not sample a valid candidate set")
-		}
+	for salt := uint64(0); salt <= 1000; salt++ {
 		r := rng.New(seed).Fork(7000 + salt)
-		candidates = make(map[int]int64)
+		candidates := make(map[int]int64)
 		used := make(map[int64]bool)
 		dup := false
 		for v := 0; v < n; v++ {
@@ -117,11 +112,36 @@ func NewLeaderElectionPre(pre *Pre, cfg LeaderConfig, seed uint64) (*LeaderElect
 			candidates[v] = id
 		}
 		if !dup && len(candidates) > 0 {
-			break
+			return candidates, nil
 		}
 	}
+	return nil, errors.New("compete: could not sample a valid candidate set")
+}
 
-	c, err := NewWithPre(pre, seed, candidates)
+// NewLeaderElectionPre is NewLeaderElection with the seed-independent
+// precomputation supplied externally: pre must come from
+// NewPre(g, d, cfg.Config) (see NewWithPre).
+func NewLeaderElectionPre(pre *Pre, cfg LeaderConfig, seed uint64) (*LeaderElection, error) {
+	return NewLeaderElectionPreFaults(pre, cfg, seed, nil)
+}
+
+// NewLeaderElectionPreFaults is NewLeaderElectionPre with a fault
+// scenario installed; completion becomes survivor-scoped exactly as in
+// NewWithPreFaults, and Verify checks the postcondition over the
+// survivor-reachable set only. For the election to stay winnable the
+// plan must not crash the maximum-ID candidate (see the campaign's
+// protect-the-winner convention); a crashed winner makes the run exhaust
+// its budget with Done == false rather than elect a wrong leader.
+func NewLeaderElectionPreFaults(pre *Pre, cfg LeaderConfig, seed uint64, plan *radio.FaultPlan) (*LeaderElection, error) {
+	g := pre.g
+	if g.N() == 0 {
+		return nil, errors.New("compete: empty graph")
+	}
+	candidates, err := SampleCandidates(g.N(), cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewWithPreFaults(pre, seed, candidates, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +163,9 @@ func (le *LeaderElection) Leader() int {
 
 // Verify checks the leader election postcondition after completion: every
 // node outputs the same ID and exactly one node holds it as its own.
+// Under a fault plan the agreement check is survivor-scoped — only nodes
+// in the survivor-reachable completion target are required to output the
+// winning ID (crashed or unreachable nodes can never learn it).
 func (le *LeaderElection) Verify() error {
 	if !le.Done() {
 		return errors.New("compete: election not complete")
@@ -159,6 +182,9 @@ func (le *LeaderElection) Verify() error {
 		return fmt.Errorf("compete: %d candidates own the winning ID", owners)
 	}
 	for v, got := range le.Values() {
+		if le.counted != nil && !le.counted[v] {
+			continue // outside the survivor-scoped completion target
+		}
 		if got != want {
 			return fmt.Errorf("compete: node %d outputs %d, want %d", v, got, want)
 		}

@@ -346,6 +346,11 @@ func (b *Broadcast) ReachTarget() int { return int(b.tr.prog.Target()) }
 // the numerator of the fault campaigns' reach fraction.
 func (b *Broadcast) Reached() int { return int(b.tr.prog.Count()) }
 
+// Counted returns the survivor-scoped completion mask (nil for a
+// fault-free broadcast): counted nodes are the ones Done waits on. The
+// returned slice is the broadcast's own — treat it as read-only.
+func (b *Broadcast) Counted() []bool { return b.tr.counted }
+
 // Values returns a copy of each node's current value; uninformed nodes
 // report -1.
 func (b *Broadcast) Values() []int64 {

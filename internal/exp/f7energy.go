@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"radionet/internal/compete"
 	"radionet/internal/graph"
 )
 
@@ -30,7 +29,7 @@ func runF7(o Options) *Table {
 			seeds = 2
 		}
 	}
-	algos := []broadcastAlgo{bgiAlgo(), truncAlgo(), cd17Algo(compete.Config{})}
+	algos := []broadcastAlgo{namedAlgo("bgi"), namedAlgo("truncated-decay"), namedAlgo("cd17")}
 	for _, g := range gs {
 		d := g.DiameterEstimate()
 		for _, a := range algos {

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	"radionet/internal/baseline"
 	"radionet/internal/compete"
-	"radionet/internal/decay"
 	"radionet/internal/graph"
+	"radionet/internal/protocol"
 	"radionet/internal/stats"
 )
 
@@ -27,35 +26,47 @@ type broadcastAlgo struct {
 	run  func(g *graph.Graph, d int, seed uint64) (rounds, tx int64, done bool)
 }
 
-func cd17Algo(cfg compete.Config) broadcastAlgo {
-	name := "CD17"
-	if cfg.CurtailLogLog {
-		name = "HW16-mode"
-	}
-	return broadcastAlgo{name: name, run: func(g *graph.Graph, d int, seed uint64) (int64, int64, bool) {
-		b, err := compete.NewBroadcast(g, d, cfg, seed, 0, 9)
+// regAlgo adapts a registered broadcast descriptor to the experiment
+// harness: display name from the descriptor label, dispatch through its
+// Build, tuning passed through (nil = algorithm defaults). Every
+// algorithm runs at its registered whp-sufficient default budget
+// (Run(0)); a run that exhausts it is reported not-all-done (F6's
+// ablated variants are expected to).
+func regAlgo(d *protocol.Descriptor, tuning any) broadcastAlgo {
+	const budget = 0
+	return broadcastAlgo{name: d.Label, run: func(g *graph.Graph, diam int, seed uint64) (int64, int64, bool) {
+		r, err := d.Build(protocol.BuildParams{G: g, D: diam, Seed: seed, Sources: map[int]int64{0: 9}, Tuning: tuning})
 		if err != nil {
 			return 0, 0, false
 		}
-		r, done := b.Run(8 * b.Budget())
-		return r, b.Engine.Metrics.Transmissions, done
+		res := r.Run(budget)
+		return res.Rounds, res.Tx, res.Done
 	}}
 }
 
-func bgiAlgo() broadcastAlgo {
-	return broadcastAlgo{name: "BGI92", run: func(g *graph.Graph, d int, seed uint64) (int64, int64, bool) {
-		b := decay.NewBroadcast(g, decay.Config{}, seed, map[int]int64{0: 9})
-		r, done := b.Run(1 << 26)
-		return r, b.Engine.Metrics.Transmissions, done
-	}}
+// namedAlgo resolves a broadcast algorithm by registry name.
+func namedAlgo(name string) broadcastAlgo {
+	d, ok := protocol.Lookup(protocol.Broadcast, name)
+	if !ok {
+		panic("exp: unregistered broadcast algorithm " + name)
+	}
+	return regAlgo(d, nil)
 }
 
-func truncAlgo() broadcastAlgo {
-	return broadcastAlgo{name: "CR/KP-trunc", run: func(g *graph.Graph, d int, seed uint64) (int64, int64, bool) {
-		b := baseline.NewTruncatedDecay(g, d, seed, map[int]int64{0: 9})
-		r, done := b.Run(1 << 26)
-		return r, b.Engine.Metrics.Transmissions, done
-	}}
+// comparableBroadcastAlgos enumerates every registered same-model
+// broadcast algorithm (the collision-detection beep-wave runs in a
+// strictly stronger model and is excluded), in registry order — the
+// baselines-first ordering the comparison tables have always used. An
+// algorithm registered tomorrow appears in F1 with no exp changes.
+func comparableBroadcastAlgos() []broadcastAlgo {
+	var out []broadcastAlgo
+	for _, d := range protocol.ByTask(protocol.Broadcast) {
+		if d.Caps.CollisionDetection {
+			continue
+		}
+		out = append(out, regAlgo(d, nil))
+	}
+	return out
 }
 
 // meanRounds runs algo for the given seeds through the campaign executor
@@ -100,7 +111,7 @@ func runF1(o Options) *Table {
 	if o.Quick && seeds > 2 {
 		seeds = 2
 	}
-	algos := []broadcastAlgo{bgiAlgo(), truncAlgo(), cd17Algo(compete.Config{CurtailLogLog: true}), cd17Algo(compete.Config{})}
+	algos := comparableBroadcastAlgos()
 	for _, g := range gridFamily(o.Quick) {
 		d := g.DiameterEstimate()
 		for _, a := range algos {
@@ -130,7 +141,7 @@ func runF2(o Options) *Table {
 			seeds = 2
 		}
 	}
-	algos := []broadcastAlgo{bgiAlgo(), cd17Algo(compete.Config{})}
+	algos := []broadcastAlgo{namedAlgo("bgi"), namedAlgo("cd17")}
 	for _, legs := range legSet {
 		g := graph.Caterpillar(spine, legs)
 		d := g.Diameter()
@@ -157,48 +168,50 @@ func runF3(o Options) *Table {
 	if len(gs) > 3 {
 		gs = gs[:3]
 	}
+	// Every registered leader algorithm, registry order (baselines first,
+	// the paper's algorithm last) — GH13 joined this table by registering
+	// itself, with no changes here. Completion requires the descriptor's
+	// postcondition check where one is registered.
+	leaders := protocol.ByTask(protocol.Leader)
 	for _, g := range gs {
 		d := g.DiameterEstimate()
-		bsr := make([]float64, seeds)
-		mbr := make([]float64, seeds)
-		ler := make([]float64, seeds)
+		rounds := make([][]float64, len(leaders))
+		oks := make([][]bool, len(leaders))
+		for i := range leaders {
+			rounds[i] = make([]float64, seeds)
+			oks[i] = make([]bool, seeds)
+		}
 		bcr := make([]float64, seeds)
-		bsOK := make([]bool, seeds)
-		mbOK := make([]bool, seeds)
-		leOK := make([]bool, seeds)
 		bcOK := make([]bool, seeds)
+		var leMean float64 // CD17-LE mean, for the parity note
 		o.forEach(seeds, func(s int) {
 			seed := o.Seed + 3 + uint64(s)
-			// Binary-search LE [2].
-			if le, err := baseline.NewBinarySearchLE(g, d, seed, 2, 40, 0); err == nil {
-				res := le.Run()
-				bsOK[s] = res.Done
-				bsr[s] = float64(res.Rounds)
+			for i, ld := range leaders {
+				r, err := ld.Build(protocol.BuildParams{G: g, D: d, Seed: seed})
+				if err != nil {
+					continue
+				}
+				res := r.Run(0)
+				oks[i][s] = res.Done && (res.Verify == nil || res.Verify() == nil)
+				rounds[i][s] = float64(res.Rounds)
 			}
-			// Max-broadcast LE (the [8]-style fast-prior stand-in).
-			if le, err := baseline.NewMaxBroadcastLE(g, d, seed, 2, 40, 0); err == nil {
-				res := le.Run()
-				mbOK[s] = res.Done
-				mbr[s] = float64(res.Rounds)
-			}
-			// CD17 LE and CD17 broadcast (parity claim).
-			if le, err := compete.NewLeaderElection(g, d, compete.LeaderConfig{}, seed); err == nil {
-				r, done := le.Run(8 * le.Budget())
-				leOK[s] = done && le.Verify() == nil
-				ler[s] = float64(r)
-			}
+			// CD17 broadcast (parity claim).
 			if b, err := compete.NewBroadcast(g, d, compete.Config{}, seed, 0, 9); err == nil {
 				rb, doneb := b.Run(8 * b.Budget())
 				bcOK[s] = doneb
 				bcr[s] = float64(rb)
 			}
 		})
-		t.AddRow(g.Name(), g.N(), d, "BinarySearch-LE", stats.Mean(bsr), all(bsOK))
-		t.AddRow(g.Name(), g.N(), d, "MaxBcast-LE[8]", stats.Mean(mbr), all(mbOK))
-		t.AddRow(g.Name(), g.N(), d, "CD17-LE", stats.Mean(ler), all(leOK))
+		for i, ld := range leaders {
+			m := stats.Mean(rounds[i])
+			t.AddRow(g.Name(), g.N(), d, ld.Label, m, all(oks[i]))
+			if ld.Name == "cd17" {
+				leMean = m
+			}
+		}
 		t.AddRow(g.Name(), g.N(), d, "CD17-broadcast", stats.Mean(bcr), all(bcOK))
 		if stats.Mean(bcr) > 0 {
-			t.Note("%s: LE/broadcast ratio = %.2f (paper: O(1), the parity claim)", g.Name(), stats.Mean(ler)/stats.Mean(bcr))
+			t.Note("%s: LE/broadcast ratio = %.2f (paper: O(1), the parity claim)", g.Name(), leMean/stats.Mean(bcr))
 		}
 	}
 	return t
@@ -265,7 +278,7 @@ func runF5(o Options) *Table {
 	if o.Quick {
 		ns = []int{64, 128, 256, 512}
 	}
-	algos := []broadcastAlgo{bgiAlgo(), cd17Algo(compete.Config{})}
+	algos := []broadcastAlgo{namedAlgo("bgi"), namedAlgo("cd17")}
 	perHop := map[string][]float64{}
 	logns := map[string][]float64{}
 	for _, n := range ns {
@@ -327,9 +340,13 @@ func runF6(o Options) *Table {
 		{"no background process", compete.Config{DisableBackground: true}},
 		{"no Algorithm-4 helper", compete.Config{DisableHelper: true}},
 	}
+	cd17Desc, ok := protocol.Lookup(protocol.Broadcast, "cd17")
+	if !ok {
+		panic("exp: cd17 not registered")
+	}
 	var base float64
 	for i, v := range variants {
-		a := cd17Algo(v.cfg)
+		a := regAlgo(cd17Desc, v.cfg)
 		a.name = v.name
 		m, all := meanRounds(o, a, g, d, o.Seed+7, seeds)
 		if i == 0 {

@@ -50,7 +50,7 @@ func runT8(o Options) *Table {
 			}
 			r, done := p.Run(1 << 26)
 			pr[s] = float64(r)
-			r2, done2 := multicast.Sequential(g, o.Seed+8+uint64(s), 0, msgs(k), 0)
+			r2, _, done2 := multicast.Sequential(g, o.Seed+8+uint64(s), 0, msgs(k), 0)
 			sr[s] = float64(r2)
 			ok[s] = done && done2
 		})

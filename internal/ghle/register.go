@@ -1,0 +1,66 @@
+package ghle
+
+import (
+	"fmt"
+
+	"radionet/internal/protocol"
+)
+
+// Registration is this package's only integration point: the campaign
+// engine, the radionet facade and both CLIs pick the algorithm up from
+// the protocol registry — no dispatch code anywhere names it.
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		Task:      protocol.Leader,
+		Name:      "gh13",
+		Aliases:   []string{"ghaffari-haeupler"},
+		Label:     "GH13-LE",
+		Summary:   "Ghaffari–Haeupler SODA'13-style elimination tournament (scoped variant): Θ(log log n) geometric knockout broadcasts + one full agreement broadcast, < 2·T_BC total",
+		BudgetDoc: "< 2T with T = 6·(D+L)·L (explicit budgets: T = budget/2)",
+		Order:     30,
+		// No Protect hook: the descriptor is fault-incapable (each
+		// tournament phase restarts the round clock a FaultPlan's crash
+		// schedule is written against), so fault planning never reaches
+		// it. When the capability lands, protect LE.Winner here.
+		Caps: protocol.Caps{},
+		Build: func(p protocol.BuildParams) (protocol.Runner, error) {
+			cfg := Config{}
+			switch t := p.Tuning.(type) {
+			case nil:
+			case Config:
+				cfg = t
+			default:
+				return nil, fmt.Errorf("ghle: tuning must be ghle.Config, got %T", p.Tuning)
+			}
+			if p.Faults != nil {
+				return nil, fmt.Errorf("ghle: gh13 does not support fault plans (each tournament phase restarts the round clock)")
+			}
+			le, err := New(p.G, p.D, cfg, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return runner{le: le}, nil
+		},
+	})
+}
+
+type runner struct {
+	le *LE
+}
+
+func (r runner) Run(budget int64) protocol.Result {
+	rounds, done := r.le.Run(budget)
+	return protocol.Result{
+		Rounds:      rounds,
+		Tx:          r.le.Tx(),
+		Done:        done,
+		Reached:     r.le.Reached(),
+		ReachTarget: r.le.ReachTarget(),
+		Verify:      r.le.Verify,
+	}
+}
+
+func (r runner) Leader() int               { return r.le.Leader() }
+func (r runner) LeaderID() int64           { return r.le.LeaderID() }
+func (r runner) Candidates() map[int]int64 { return r.le.Candidates() }

@@ -170,22 +170,23 @@ func (p *Pipelined) Run(maxRounds int64) (int64, bool) {
 }
 
 // Sequential runs k single-message Decay broadcasts back to back and
-// returns the total rounds and whether all completed. Each broadcast runs
-// until globally complete (oracle-sequenced), so the total is exactly the
-// classical reduction's cost on this instance.
-func Sequential(g *graph.Graph, seed uint64, src int, msgs []int64, perMsgBudget int64) (int64, bool) {
+// returns the total rounds, the total engine transmissions, and whether
+// all completed. Each broadcast runs until globally complete
+// (oracle-sequenced), so the total is exactly the classical reduction's
+// cost on this instance.
+func Sequential(g *graph.Graph, seed uint64, src int, msgs []int64, perMsgBudget int64) (rounds, tx int64, done bool) {
 	if perMsgBudget <= 0 {
 		l := int64(decay.Levels(g.N()))
 		perMsgBudget = 40 * (int64(g.N()) + l) * l
 	}
-	var total int64
 	for i, m := range msgs {
 		bc := decay.NewBroadcast(g, decay.Config{}, seed+uint64(i), map[int]int64{src: m})
-		r, done := bc.Run(perMsgBudget)
-		total += r
-		if !done {
-			return total, false
+		r, ok := bc.Run(perMsgBudget)
+		rounds += r
+		tx += bc.Engine.Metrics.Transmissions
+		if !ok {
+			return rounds, tx, false
 		}
 	}
-	return total, true
+	return rounds, tx, true
 }

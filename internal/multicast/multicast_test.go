@@ -61,12 +61,15 @@ func TestPipelinedSingleMessageMatchesBroadcast(t *testing.T) {
 
 func TestSequentialCompletes(t *testing.T) {
 	g := graph.Grid(5, 8)
-	rounds, done := Sequential(g, 11, 0, msgs(4), 0)
+	rounds, tx, done := Sequential(g, 11, 0, msgs(4), 0)
 	if !done {
 		t.Fatalf("sequential multicast incomplete after %d rounds", rounds)
 	}
 	if rounds <= 0 {
 		t.Fatal("no rounds recorded")
+	}
+	if tx <= 0 {
+		t.Fatal("no transmissions recorded")
 	}
 }
 
@@ -99,7 +102,7 @@ func TestPipeliningBeatsSequentialForManyMessages(t *testing.T) {
 		t.Fatal(err)
 	}
 	pr, pdone := p.Run(1 << 24)
-	sr, sdone := Sequential(g, 9, 0, msgs(k), 0)
+	sr, _, sdone := Sequential(g, 9, 0, msgs(k), 0)
 	if !pdone || !sdone {
 		t.Fatalf("incomplete: pipelined=%v sequential=%v", pdone, sdone)
 	}

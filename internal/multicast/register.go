@@ -1,0 +1,153 @@
+package multicast
+
+import (
+	"fmt"
+
+	"radionet/internal/decay"
+	"radionet/internal/graph"
+	"radionet/internal/protocol"
+)
+
+// This file registers the k-message broadcast strategies under the
+// "multicast" task: the pipelined random-push epidemic (Lemma 2.3's
+// additive-in-k shape) and the classical k-sequential-broadcasts
+// reduction it is measured against. Campaign trials seed the task with
+// the standard {node 0: value 9} source; the runner broadcasts K
+// consecutive message values starting there (K defaults to 8, tunable
+// via multicast.Tuning).
+
+// Tuning parameterizes the registered multicast runners.
+type Tuning struct {
+	// K is the number of messages to broadcast (default 8).
+	K int
+}
+
+func (t Tuning) k() int {
+	if t.K <= 0 {
+		return 8
+	}
+	return t.K
+}
+
+func tuning(v any) (Tuning, error) {
+	switch t := v.(type) {
+	case nil:
+		return Tuning{}, nil
+	case Tuning:
+		return t, nil
+	default:
+		return Tuning{}, fmt.Errorf("multicast: tuning must be multicast.Tuning, got %T", v)
+	}
+}
+
+// trialMessages expands the single-source convention into the k-message
+// set: values base..base+k-1 from the one source node.
+func trialMessages(g *graph.Graph, sources map[int]int64, k int) (src int, msgs []int64, err error) {
+	if len(sources) != 1 {
+		return 0, nil, fmt.Errorf("multicast: needs exactly one source, got %d", len(sources))
+	}
+	var base int64
+	for s, v := range sources {
+		src, base = s, v
+	}
+	msgs = make([]int64, k)
+	for i := range msgs {
+		msgs[i] = base + int64(i)
+	}
+	return src, msgs, nil
+}
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		Task:      protocol.Multicast,
+		Name:      "sequential",
+		Label:     "k-sequential",
+		Summary:   "classical reduction: k successive single-message Decay broadcasts, Θ(k·(D+log n)·log n)",
+		BudgetDoc: "k · 40·(n+L)·L per message (explicit budgets split evenly per message)",
+		Order:     10,
+		Caps:      protocol.Caps{Bulk: true},
+		Build: func(p protocol.BuildParams) (protocol.Runner, error) {
+			if p.Faults != nil {
+				return nil, fmt.Errorf("multicast: sequential does not support fault plans (each broadcast restarts the round clock)")
+			}
+			t, err := tuning(p.Tuning)
+			if err != nil {
+				return nil, err
+			}
+			src, msgs, err := trialMessages(p.G, p.Sources, t.k())
+			if err != nil {
+				return nil, err
+			}
+			return sequentialRunner{g: p.G, seed: p.Seed, src: src, msgs: msgs}, nil
+		},
+	})
+	protocol.Register(protocol.Descriptor{
+		Task:      protocol.Multicast,
+		Name:      "pipelined",
+		Aliases:   []string{"epidemic"},
+		Label:     "pipelined",
+		Summary:   "Lemma 2.3-shaped random-push epidemic: all k messages propagate concurrently, additive in k",
+		BudgetDoc: "20·(D + k·L)·L",
+		Order:     20,
+		Caps:      protocol.Caps{},
+		Build: func(p protocol.BuildParams) (protocol.Runner, error) {
+			if p.Faults != nil {
+				return nil, fmt.Errorf("multicast: pipelined does not support fault plans yet")
+			}
+			t, err := tuning(p.Tuning)
+			if err != nil {
+				return nil, err
+			}
+			src, msgs, err := trialMessages(p.G, p.Sources, t.k())
+			if err != nil {
+				return nil, err
+			}
+			pl, err := NewPipelined(p.G, p.Seed, src, msgs)
+			if err != nil {
+				return nil, err
+			}
+			pl.Engine.Hook = p.Hook
+			l := int64(decay.Levels(p.G.N()))
+			def := 20 * (int64(p.D) + int64(len(msgs))*l) * l
+			return pipelinedRunner{p: pl, def: def}, nil
+		},
+	})
+}
+
+type pipelinedRunner struct {
+	p   *Pipelined
+	def int64
+}
+
+func (r pipelinedRunner) Run(budget int64) protocol.Result {
+	if budget <= 0 {
+		budget = r.def
+	}
+	rounds, done := r.p.Run(budget)
+	return protocol.Result{
+		Rounds:      rounds,
+		Tx:          r.p.Engine.Metrics.Transmissions,
+		Done:        done,
+		Reached:     int(r.p.prog.Count()),
+		ReachTarget: int(r.p.prog.Target()),
+	}
+}
+
+type sequentialRunner struct {
+	g    *graph.Graph
+	seed uint64
+	src  int
+	msgs []int64
+}
+
+func (r sequentialRunner) Run(budget int64) protocol.Result {
+	perMsg := int64(0)
+	if budget > 0 {
+		perMsg = budget / int64(len(r.msgs))
+		if perMsg < 1 {
+			perMsg = 1
+		}
+	}
+	rounds, tx, done := Sequential(r.g, r.seed, r.src, r.msgs, perMsg)
+	return protocol.Result{Rounds: rounds, Tx: tx, Done: done}
+}

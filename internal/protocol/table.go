@@ -1,0 +1,48 @@
+package protocol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// capString renders a descriptor's capability flags for the table.
+func capString(c Caps) string {
+	var parts []string
+	if c.Faults {
+		parts = append(parts, "faults")
+	}
+	if c.CollisionDetection {
+		parts = append(parts, "collision-detection")
+	}
+	if c.Scratch {
+		parts = append(parts, "scratch")
+	}
+	if c.Bulk {
+		parts = append(parts, "bulk")
+	}
+	if len(parts) == 0 {
+		return "—"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// MarkdownTable renders the full registry as the markdown algorithm table
+// shared by `cmd/radiosim -list`, `cmd/campaign -list` and the README
+// (CI pins all three to byte equality; regenerate the README block from
+// either CLI when the registry changes).
+func MarkdownTable() string {
+	var b strings.Builder
+	b.WriteString("| task | algorithm | aliases | capabilities | default budget | description |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, task := range Tasks() {
+		for _, d := range ByTask(task) {
+			aliases := "—"
+			if len(d.Aliases) > 0 {
+				aliases = strings.Join(d.Aliases, ", ")
+			}
+			fmt.Fprintf(&b, "| %s | `%s` | %s | %s | %s | %s |\n",
+				task, d.Name, aliases, capString(d.Caps), d.BudgetDoc, d.Summary)
+		}
+	}
+	return b.String()
+}

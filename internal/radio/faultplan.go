@@ -165,21 +165,51 @@ func (p *FaultPlan) SurvivorMask() []bool {
 }
 
 // CountedTarget computes the survivor-scoped completion mask and target
-// for a protocol broadcasting from sources on g: the nodes reachable from
-// the surviving sources through never-crashing nodes, found by BFS over
-// the crash schedule's survivor graph. Protocols install the mask on
-// their Progress counting (only masked nodes count a threshold crossing)
-// and use the target as the Progress goal, which is what lets faulted
-// runs terminate instead of waiting forever on the dead.
+// for a protocol propagating the highest source message from sources on
+// g: the nodes reachable from the surviving *maximum-holding* sources
+// through never-crashing nodes, found by BFS over the crash schedule's
+// survivor graph. Protocols install the mask on their Progress counting
+// (only masked nodes count a threshold crossing) and use the target as
+// the Progress goal, which is what lets faulted runs terminate instead of
+// waiting forever on the dead.
+//
+// Rooting the BFS at the max-holders matters for multi-source runs
+// (Compete(S), the leader elections): completion means reaching the
+// *highest* message, and a survivor component that only contains
+// lower-valued sources can never get there once crashes disconnect it —
+// counting it would pin Done at false forever. For a single-source
+// broadcast the source is trivially the max-holder, so the scoping is
+// unchanged. When no max-holder survives (a fault plan that did not
+// protect the would-be winner), every surviving source roots the BFS;
+// when no source survives at all, the target is pinned out of reach
+// (n+1, the same convention decay uses for an empty source map): the
+// run then honestly exhausts its budget with Done == false rather than
+// declare instant completion on an empty target.
 func (p *FaultPlan) CountedTarget(g *graph.Graph, sources map[int]int64) (counted []bool, target int64) {
 	alive := p.SurvivorMask()
+	max, first := int64(0), true
+	for _, v := range sources {
+		if first || v > max {
+			max, first = v, false
+		}
+	}
 	roots := make([]int, 0, len(sources))
-	for s := range sources {
-		if alive[s] {
+	for s, v := range sources {
+		if alive[s] && v == max {
 			roots = append(roots, s)
 		}
 	}
+	if len(roots) == 0 {
+		for s := range sources {
+			if alive[s] {
+				roots = append(roots, s)
+			}
+		}
+	}
 	counted = make([]bool, p.n)
+	if len(roots) == 0 {
+		return counted, int64(p.n) + 1
+	}
 	for v, dv := range g.MultiBFSAlive(roots, alive) {
 		if dv != graph.Unreached {
 			counted[v] = true

@@ -255,3 +255,51 @@ func TestSetFaultsValidation(t *testing.T) {
 	// nil install is a no-op at any time.
 	e.SetFaults(nil)
 }
+
+// TestCountedTargetMaxHolderScoping pins the multi-source completion
+// scoping: the BFS roots at the surviving maximum-holding sources only —
+// a survivor component that holds just lower-valued sources can never
+// learn the maximum, so it must not be awaited.
+func TestCountedTargetMaxHolderScoping(t *testing.T) {
+	// Path 0-1-2-3-4-5; sources at both ends, max at node 5; crashing
+	// node 2 splits the survivor graph into {0,1} and {3,4,5}.
+	g := graph.Path(6)
+	plan := NewFaultPlan(6, 1)
+	plan.Crash(2, 50)
+	counted, target := plan.CountedTarget(g, map[int]int64{0: 1, 5: 9})
+	if target != 3 {
+		t.Fatalf("target = %d, want 3 (the max-holder's component)", target)
+	}
+	for v, want := range []bool{false, false, false, true, true, true} {
+		if counted[v] != want {
+			t.Fatalf("counted[%d] = %v, want %v (mask %v)", v, counted[v], want, counted)
+		}
+	}
+	// No surviving max-holder: every surviving source roots the BFS.
+	plan2 := NewFaultPlan(6, 1)
+	plan2.Crash(2, 50)
+	plan2.Crash(5, 50)
+	counted2, target2 := plan2.CountedTarget(g, map[int]int64{0: 1, 5: 9})
+	if target2 != 2 || !counted2[0] || !counted2[1] {
+		t.Fatalf("fallback scoping: target %d mask %v, want 2 over {0,1}", target2, counted2)
+	}
+}
+
+// TestCountedTargetNoSurvivingSourcePins is the instant-Done regression:
+// with every source crashed the target must be pinned out of reach
+// (n+1), never 0 — a zero target would satisfy Progress before round 0
+// and report a dead broadcast complete.
+func TestCountedTargetNoSurvivingSourcePins(t *testing.T) {
+	g := graph.Path(4)
+	plan := NewFaultPlan(4, 1)
+	plan.Crash(0, 1000) // even a far-future crash round marks a non-survivor
+	counted, target := plan.CountedTarget(g, map[int]int64{0: 9})
+	if target != 5 {
+		t.Fatalf("target = %d, want n+1 = 5 (unreachable pin)", target)
+	}
+	for v, c := range counted {
+		if c {
+			t.Fatalf("counted[%d] = true, want all false", v)
+		}
+	}
+}

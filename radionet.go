@@ -36,15 +36,19 @@ package radionet
 import (
 	"errors"
 	"fmt"
+	"reflect"
 
-	"radionet/internal/baseline"
-	"radionet/internal/cd"
 	"radionet/internal/cluster"
 	"radionet/internal/compete"
-	"radionet/internal/decay"
 	"radionet/internal/graph"
+	"radionet/internal/protocol"
 	"radionet/internal/radio"
 	"radionet/internal/rng"
+
+	// Populate the protocol registry: the facade resolves every
+	// algorithm through it, so newly registered algorithms are callable
+	// here (and from cmd/radiosim) without facade changes.
+	_ "radionet/internal/protocol/all"
 )
 
 // Graph is an immutable undirected network topology.
@@ -205,49 +209,55 @@ func (n *Network) Broadcast(src int, value int64, o BroadcastOptions) (Result, e
 	return n.Compete(map[int]int64{src: value}, o)
 }
 
+// tuning converts the facade's typed Config into a BuildParams.Tuning
+// value: nil for the zero value (every algorithm's defaults), the Config
+// itself otherwise. Descriptors that don't take a compete.Config reject a
+// non-zero one loudly instead of silently ignoring it. The zero test
+// needs reflect.DeepEqual because Config carries a func field (Wrap),
+// which rules out ==; DeepEqual treats funcs as equal only when both are
+// nil, which is exactly the zero-value semantics wanted here.
+func tuning(cfg Config) any {
+	if reflect.DeepEqual(cfg, Config{}) {
+		return nil
+	}
+	return cfg
+}
+
 // Compete runs the paper's generalized primitive: every source in sources
 // holds a message, and on completion all nodes know the highest one
 // (Theorem 4.1). The oblivious baselines run their multi-source
-// extensions.
+// extensions. Algorithms resolve through the protocol registry
+// (internal/protocol), so every registered broadcast descriptor — run
+// `cmd/radiosim -list` for the catalogue — is accepted.
 func (n *Network) Compete(sources map[int]int64, o BroadcastOptions) (Result, error) {
 	for s, v := range sources {
 		if v < 0 {
 			return Result{}, fmt.Errorf("radionet: source %d has negative message %d", s, v)
 		}
 	}
-	switch o.Algorithm {
-	case "", CD17, HW16:
-		cfg := o.Config
-		if o.Algorithm == HW16 {
-			cfg.CurtailLogLog = true
-		}
-		c, err := compete.NewWithPreFaults(compete.NewPre(n.G, n.Diameter, cfg), o.Seed, sources, o.Faults)
-		if err != nil {
-			return Result{}, err
-		}
-		c.Engine.Hook = o.Hook
-		rounds, done := c.Run(o.MaxRounds)
-		return Result{
-			Rounds: rounds, PrecomputeRounds: c.PrecomputeRounds, Done: done,
-			Reached: c.Reached(), ReachTarget: c.ReachTarget(),
-		}, nil
-	case BGI, TruncatedDecay:
-		dcfg := decay.Config{Faults: o.Faults}
-		if o.Algorithm == TruncatedDecay {
-			dcfg.Levels = baseline.TruncatedDecayLevels(n.G.N(), n.Diameter)
-		}
-		bc := decay.NewBroadcast(n.G, dcfg, o.Seed, sources)
-		bc.Engine.Hook = o.Hook
-		budget := o.MaxRounds
-		if budget <= 0 {
-			l := int64(decay.Levels(n.G.N()))
-			budget = 20 * (int64(n.Diameter) + l) * l
-		}
-		rounds, done := bc.Run(budget)
-		return Result{Rounds: rounds, Done: done, Reached: bc.Reached(), ReachTarget: bc.ReachTarget()}, nil
-	default:
+	name := string(o.Algorithm)
+	if name == "" {
+		name = string(CD17)
+	}
+	desc, ok := protocol.Lookup(protocol.Broadcast, name)
+	if !ok {
 		return Result{}, fmt.Errorf("radionet: unknown algorithm %q", o.Algorithm)
 	}
+	if o.Faults != nil && !desc.Caps.Faults {
+		return Result{}, fmt.Errorf("radionet: algorithm %q does not support fault injection", name)
+	}
+	r, err := desc.Build(protocol.BuildParams{
+		G: n.G, D: n.Diameter, Seed: o.Seed,
+		Sources: sources, Faults: o.Faults, Tuning: tuning(o.Config), Hook: o.Hook,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := r.Run(o.MaxRounds)
+	return Result{
+		Rounds: res.Rounds, PrecomputeRounds: res.Precompute, Done: res.Done,
+		Reached: res.Reached, ReachTarget: res.ReachTarget,
+	}, nil
 }
 
 // LeaderAlgorithm selects a leader election algorithm.
@@ -264,6 +274,10 @@ const (
 	// MaxBroadcastLeader elects via one multi-source max-propagating
 	// Decay broadcast, the expected-O(T_BC) approach of [8].
 	MaxBroadcastLeader LeaderAlgorithm = "max-broadcast"
+	// GH13Leader is the Ghaffari–Haeupler SODA'13-style elimination
+	// tournament (internal/ghle): Θ(log log n) geometric knockout
+	// broadcasts plus one full agreement broadcast, < 2·T_BC total.
+	GH13Leader LeaderAlgorithm = "gh13"
 )
 
 // LeaderOptions configure LeaderElection.
@@ -276,6 +290,10 @@ type LeaderOptions struct {
 	MaxRounds int64
 	// Config tunes the CD17 pipeline.
 	Config Config
+	// Faults, if set, injects the fault scenario and survivor-scopes
+	// completion (fault-capable leader algorithms only; the plan should
+	// protect the would-be winner — see DESIGN.md §8).
+	Faults *FaultPlan
 }
 
 // LeaderResult reports a leader election run.
@@ -289,65 +307,61 @@ type LeaderResult struct {
 	Candidates map[int]int64
 }
 
-// LeaderElection elects a single leader known to all nodes.
+// LeaderElection elects a single leader known to all nodes. Algorithms
+// resolve through the protocol registry, so every registered leader
+// descriptor — including ones added after this facade was written, like
+// the Ghaffari–Haeupler-style "gh13" — is accepted. Done additionally
+// requires the algorithm's postcondition check (protocol.Result.Verify)
+// to pass where one is registered.
 func (n *Network) LeaderElection(o LeaderOptions) (LeaderResult, error) {
-	switch o.Algorithm {
-	case "", CD17Leader:
-		le, err := compete.NewLeaderElection(n.G, n.Diameter, compete.LeaderConfig{Config: o.Config}, o.Seed)
-		if err != nil {
-			return LeaderResult{}, err
-		}
-		rounds, done := le.Run(o.MaxRounds)
-		res := LeaderResult{
-			Result:     Result{Rounds: rounds, PrecomputeRounds: le.PrecomputeRounds, Done: done},
-			Leader:     le.Leader(),
-			Candidates: le.Candidates,
-		}
-		if done {
-			res.LeaderID = le.TrueMax()
-		}
-		return res, nil
-	case BinarySearchLeader:
-		le, err := baseline.NewBinarySearchLE(n.G, n.Diameter, o.Seed, 0, 0, 0)
-		if err != nil {
-			return LeaderResult{}, err
-		}
-		r := le.Run()
-		return LeaderResult{
-			Result:     Result{Rounds: r.Rounds, Done: r.Done},
-			Leader:     r.Leader,
-			LeaderID:   r.LeaderID,
-			Candidates: le.Candidates(),
-		}, nil
-	case MaxBroadcastLeader:
-		le, err := baseline.NewMaxBroadcastLE(n.G, n.Diameter, o.Seed, 0, 0, o.MaxRounds)
-		if err != nil {
-			return LeaderResult{}, err
-		}
-		r := le.Run()
-		return LeaderResult{
-			Result:     Result{Rounds: r.Rounds, Done: r.Done},
-			Leader:     r.Leader,
-			LeaderID:   r.LeaderID,
-			Candidates: le.Candidates(),
-		}, nil
-	default:
+	name := string(o.Algorithm)
+	if name == "" {
+		name = string(CD17Leader)
+	}
+	desc, ok := protocol.Lookup(protocol.Leader, name)
+	if !ok {
 		return LeaderResult{}, fmt.Errorf("radionet: unknown leader algorithm %q", o.Algorithm)
 	}
+	if o.Faults != nil && !desc.Caps.Faults {
+		return LeaderResult{}, fmt.Errorf("radionet: leader algorithm %q does not support fault injection", name)
+	}
+	r, err := desc.Build(protocol.BuildParams{
+		G: n.G, D: n.Diameter, Seed: o.Seed,
+		Faults: o.Faults, Tuning: tuning(o.Config),
+	})
+	if err != nil {
+		return LeaderResult{}, err
+	}
+	res := r.Run(o.MaxRounds)
+	done := res.Done
+	if done && res.Verify != nil && res.Verify() != nil {
+		done = false
+	}
+	out := LeaderResult{
+		Result: Result{
+			Rounds: res.Rounds, PrecomputeRounds: res.Precompute, Done: done,
+			Reached: res.Reached, ReachTarget: res.ReachTarget,
+		},
+		Leader: -1,
+	}
+	if lr, ok := r.(protocol.LeaderRunner); ok {
+		out.Candidates = lr.Candidates()
+		out.Leader = lr.Leader()
+		if done {
+			out.LeaderID = lr.LeaderID()
+		}
+	}
+	return out, nil
 }
 
 // BroadcastCD broadcasts value from src under the *stronger* model variant
 // with collision detection (Section 1.1 of the paper), using the
 // deterministic beep-wave pipeline: ecc(src) + 3·bits + O(1) rounds. It
 // exists to quantify the model separation the paper discusses; all other
-// methods use the no-collision-detection model.
+// methods use the no-collision-detection model. It is sugar for the
+// registered "cd-beep" broadcast descriptor.
 func (n *Network) BroadcastCD(src int, value int64) (Result, error) {
-	b, err := cd.NewBroadcast(n.G, src, value)
-	if err != nil {
-		return Result{}, err
-	}
-	rounds, done := b.Run(b.RoundsNeeded(n.Diameter) + 16)
-	return Result{Rounds: rounds, Done: done}, nil
+	return n.Broadcast(src, value, BroadcastOptions{Algorithm: "cd-beep"})
 }
 
 // Clustering re-exports the Miller–Peng–Xu Partition(β) result type.
