@@ -1,0 +1,99 @@
+// Command bench runs the pinned performance-trajectory grids and emits
+// schema-versioned BENCH_<grid>.json files (see internal/bench). The
+// committed files at the repo root form the simulator's throughput
+// history; regenerate them when hot-path work lands.
+//
+// Examples:
+//
+//	bench                          # run every grid, write BENCH_*.json in .
+//	bench -grid decay -workers 4
+//	bench -quick -out /tmp/bench   # seconds-scale CI smoke variant
+//	bench -validate BENCH_decay.json BENCH_compete.json
+//	bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"radionet/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		grid     = flag.String("grid", "all", "comma-separated grid names, or all")
+		quick    = flag.Bool("quick", false, "run the seconds-scale CI variant instead of the pinned full scale")
+		out      = flag.String("out", ".", "output directory for BENCH_<grid>.json files")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		validate = flag.Bool("validate", false, "validate the bench files given as arguments and exit")
+		list     = flag.Bool("list", false, "list the pinned grids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range bench.Grids() {
+			fmt.Printf("%-10s %s\n", g.Name, g.Summary)
+		}
+		return nil
+	}
+	if *validate {
+		if flag.NArg() == 0 {
+			return fmt.Errorf("-validate needs file arguments")
+		}
+		for _, path := range flag.Args() {
+			f, err := bench.ParseFile(path)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: ok (grid %s, schema %d, %d entries)\n", path, f.Grid, f.SchemaVersion, len(f.Entries))
+		}
+		return nil
+	}
+
+	var grids []bench.Grid
+	if *grid == "all" {
+		grids = bench.Grids()
+	} else {
+		for _, name := range strings.Split(*grid, ",") {
+			name = strings.TrimSpace(name)
+			g, ok := bench.LookupGrid(name)
+			if !ok {
+				known := make([]string, 0, len(bench.Grids()))
+				for _, k := range bench.Grids() {
+					known = append(known, k.Name)
+				}
+				return fmt.Errorf("unknown grid %q (known: %s)", name, strings.Join(known, " "))
+			}
+			grids = append(grids, g)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, g := range grids {
+		start := time.Now()
+		f, err := bench.Run(g, *quick, *workers)
+		if err != nil {
+			return err
+		}
+		f.Generated = time.Now().UTC().Format(time.RFC3339)
+		path := filepath.Join(*out, "BENCH_"+g.Name+".json")
+		if err := f.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d entries, %.1fs wall, %.0f rounds/s\n",
+			path, len(f.Entries), time.Since(start).Seconds(), f.RoundsPerSec)
+	}
+	return nil
+}

@@ -18,6 +18,9 @@
 //	campaign -preset faults -format jsonl
 //	campaign -topos grid:16x16 -algos cd17,bgi \
 //	         -faults none,crash:0.3@50,jam:0.05:p0.2,loss:0.1 -seeds 10
+//	campaign -preset large-n-broadcast -progress -manifest run.json
+//	campaign -preset huge-n-broadcast -debug-addr :6060 -progress
+//	campaign -topos grid:64x64 -algos bgi -seeds 20 -bench-out bench.json
 package main
 
 import (
@@ -27,8 +30,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"radionet/internal/bench"
 	"radionet/internal/campaign"
+	"radionet/internal/obs"
 	"radionet/internal/protocol"
 )
 
@@ -41,21 +47,25 @@ func main() {
 
 func run() error {
 	var (
-		topos   = flag.String("topos", "", "comma-separated topology specs, e.g. grid:16x16,path:256,gnp:400:0.01")
-		task    = flag.String("task", "broadcast", "default task for unqualified -algos entries: any registered task (see -list)")
-		algos   = flag.String("algos", "", "comma-separated algorithms, optionally task-qualified, e.g. cd17,bgi or leader:cd17")
-		faults  = flag.String("faults", "", "comma-separated fault specs crossed with every cell, e.g. none,crash:0.3@50,jam:0.05:p0.2,loss:0.1 ('+'-join terms to compose)")
-		seeds   = flag.Int("seeds", 10, "independent trials per configuration")
-		seed    = flag.Uint64("seed", 1, "master seed")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		maxR    = flag.Int64("maxrounds", 0, "per-trial round budget (0 = algorithm default)")
-		format  = flag.String("format", "text", "output format: text|csv|jsonl")
-		timings = flag.Bool("timings", false, "include wall-time aggregates (non-deterministic)")
-		config  = flag.String("config", "", "JSON matrix file (flags override its seeds/master_seed/max_rounds when set)")
-		preset  = flag.String("preset", "", "built-in matrix preset: "+strings.Join(campaign.PresetNames(), "|")+" (flags override as with -config)")
-		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
-		memprof = flag.String("memprofile", "", "write a heap profile (post-GC, at exit) to this file")
-		list    = flag.Bool("list", false, "print the registered algorithm table (task, name, aliases, capabilities) and exit")
+		topos    = flag.String("topos", "", "comma-separated topology specs, e.g. grid:16x16,path:256,gnp:400:0.01")
+		task     = flag.String("task", "broadcast", "default task for unqualified -algos entries: any registered task (see -list)")
+		algos    = flag.String("algos", "", "comma-separated algorithms, optionally task-qualified, e.g. cd17,bgi or leader:cd17")
+		faults   = flag.String("faults", "", "comma-separated fault specs crossed with every cell, e.g. none,crash:0.3@50,jam:0.05:p0.2,loss:0.1 ('+'-join terms to compose)")
+		seeds    = flag.Int("seeds", 10, "independent trials per configuration")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		maxR     = flag.Int64("maxrounds", 0, "per-trial round budget (0 = algorithm default)")
+		format   = flag.String("format", "text", "output format: text|csv|jsonl")
+		timings  = flag.Bool("timings", false, "include wall-time aggregates (non-deterministic)")
+		config   = flag.String("config", "", "JSON matrix file (flags override its seeds/master_seed/max_rounds when set)")
+		preset   = flag.String("preset", "", "built-in matrix preset: "+strings.Join(campaign.PresetNames(), "|")+" (flags override as with -config)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile (post-GC, at exit) to this file")
+		progress = flag.Bool("progress", false, "stream a live progress line (trials done/total, ETA, current config) to stderr")
+		manifest = flag.String("manifest", "", "write a machine-readable run manifest (JSON: config hash, protocols, per-config wall times, metrics) to this file")
+		debug    = flag.String("debug-addr", "", "serve /debug/vars (live metrics) and /debug/pprof on this address for the run, e.g. :6060")
+		benchOut = flag.String("bench-out", "", "write a bench-schema performance record of this run (grid \"custom\") to this file")
+		list     = flag.Bool("list", false, "print the registered algorithm table (task, name, aliases, capabilities) and exit")
 	)
 	flag.Parse()
 
@@ -149,8 +159,43 @@ func run() error {
 		}()
 	}
 	c := campaign.Campaign{Matrix: m, Workers: *workers, Timings: *timings}
-	_, err = c.Run(sink)
-	return err
+	// The telemetry surface: all of it observes the run without touching
+	// the sink stream, so stdout stays byte-identical with or without it.
+	var st campaign.RunStats
+	if *manifest != "" || *debug != "" || *benchOut != "" {
+		c.Obs = obs.NewRegistry()
+		c.Stats = &st
+	}
+	if *progress {
+		c.Progress = os.Stderr
+	}
+	if *debug != "" {
+		srv, err := obs.StartDebugServer(*debug, c.Obs)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "campaign: debug server on http://%s/debug/vars\n", srv.Addr)
+	}
+	if _, err = c.Run(sink); err != nil {
+		return err
+	}
+	now := time.Now().UTC().Format(time.RFC3339)
+	if *manifest != "" {
+		man := c.Manifest("campaign", &st)
+		man.Generated = now
+		if err := man.WriteFile(*manifest); err != nil {
+			return err
+		}
+	}
+	if *benchOut != "" {
+		f := bench.FromStats("custom", m, &st, c.Obs)
+		f.Generated = now
+		if err := f.WriteFile(*benchOut); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func splitList(s string) []string {

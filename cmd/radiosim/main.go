@@ -18,12 +18,16 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"radionet"
 	"radionet/internal/campaign"
+	"radionet/internal/obs"
 	"radionet/internal/protocol"
 	"radionet/internal/rng"
 	"radionet/internal/stats"
@@ -58,6 +62,8 @@ func run() error {
 		faults   = flag.String("faults", "", "fault scenario spec, e.g. crash:0.3@50+jam:0.05:p0.2 (fault-capable algorithms only; campaign grammar)")
 		trials   = flag.Int("trials", 1, "independent runs of the scenario (each with a seed derived from -seed)")
 		workers  = flag.Int("workers", 0, "worker goroutines for -trials fan-out (0 = GOMAXPROCS)")
+		manifest = flag.String("manifest", "", "write a machine-readable run manifest (JSON: scenario, outcome, metric snapshot) to this file")
+		debug    = flag.String("debug-addr", "", "serve /debug/vars (live metrics) and /debug/pprof on this address for the run, e.g. :6060")
 		list     = flag.Bool("list", false, "print the registered algorithm table (task, name, aliases, capabilities) and exit")
 	)
 	flag.Parse()
@@ -113,76 +119,143 @@ func run() error {
 	net := radionet.NewNetwork(g)
 	fmt.Printf("network: %v, diameter=%d\n", g, net.Diameter)
 
-	if *trials > 1 {
-		if *doTrace {
-			return fmt.Errorf("-trace requires a single run (drop -trials)")
-		}
-		return runTrials(net, desc, *task, *algo, faultSpec, *seed, *value, *source, *max, *trials, *workers)
+	// Telemetry: one registry for the whole invocation (single run or the
+	// -trials fan-out), scrapeable live via -debug-addr and written out as
+	// a manifest. Strictly observational — stdout is unchanged by it.
+	var reg *obs.Registry
+	if *manifest != "" || *debug != "" {
+		reg = obs.NewRegistry()
 	}
-
-	switch *task {
-	case "broadcast":
-		var rec *trace.Recorder
-		opts := radionet.BroadcastOptions{
-			Algorithm: radionet.Algorithm(*algo),
-			Seed:      *seed,
-			MaxRounds: *max,
-			Faults:    faultPlan(net, desc, faultSpec, *seed, *source, *value),
-		}
-		if *doTrace {
-			rec = &trace.Recorder{}
-			opts.Hook = rec.HookFunc()
-		}
-		res, err := net.Broadcast(*source, *value, opts)
+	if *debug != "" {
+		srv, err := obs.StartDebugServer(*debug, reg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("broadcast(%s): done=%v rounds=%d precompute=%d\n",
-			*algo, res.Done, res.Rounds, res.PrecomputeRounds)
-		if opts.Faults != nil {
-			fmt.Printf("faults(%s): survivors=%d reach=%d/%d\n",
-				faultSpec.Spec, opts.Faults.Survivors(), res.Reached, res.ReachTarget)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "radiosim: debug server on http://%s/debug/vars\n", srv.Addr)
+	}
+	scenario := fmt.Sprintf("%v/%s:%s", g, *task, desc.Name)
+	start := time.Now()
+	tc := obs.NewTrialCollector(reg)
+
+	runErr := func() error {
+		if *trials > 1 {
+			if *doTrace {
+				return fmt.Errorf("-trace requires a single run (drop -trials)")
+			}
+			return runTrials(net, desc, *task, *algo, faultSpec, *seed, *value, *source, *max, *trials, *workers, reg, tc)
 		}
-		if rec != nil {
-			if err := rec.Report(os.Stdout); err != nil {
+		switch *task {
+		case "broadcast":
+			var rec *trace.Recorder
+			opts := radionet.BroadcastOptions{
+				Algorithm: radionet.Algorithm(*algo),
+				Seed:      *seed,
+				MaxRounds: *max,
+				Metrics:   reg,
+				Faults:    faultPlan(net, desc, faultSpec, *seed, *source, *value),
+			}
+			if *doTrace {
+				rec = &trace.Recorder{}
+				opts.Hook = rec.HookFunc()
+			}
+			res, err := net.Broadcast(*source, *value, opts)
+			if err != nil {
 				return err
 			}
+			tc.Record(res.Rounds, time.Since(start), res.Done, 0)
+			fmt.Printf("broadcast(%s): done=%v rounds=%d precompute=%d\n",
+				*algo, res.Done, res.Rounds, res.PrecomputeRounds)
+			if opts.Faults != nil {
+				fmt.Printf("faults(%s): survivors=%d reach=%d/%d\n",
+					faultSpec.Spec, opts.Faults.Survivors(), res.Reached, res.ReachTarget)
+			}
+			if rec != nil {
+				if err := rec.Report(os.Stdout); err != nil {
+					return err
+				}
+			}
+			if !res.Done {
+				return fmt.Errorf("broadcast did not complete within budget")
+			}
+		case "leader":
+			opts := radionet.LeaderOptions{
+				Algorithm: radionet.LeaderAlgorithm(*algo),
+				Seed:      *seed,
+				MaxRounds: *max,
+				Metrics:   reg,
+				Faults:    faultPlan(net, desc, faultSpec, *seed, *source, *value),
+			}
+			res, err := net.LeaderElection(opts)
+			if err != nil {
+				return err
+			}
+			tc.Record(res.Rounds, time.Since(start), res.Done, 0)
+			fmt.Printf("leader(%s): done=%v rounds=%d leader=node%d id=%d candidates=%d\n",
+				*algo, res.Done, res.Rounds, res.Leader, res.LeaderID, len(res.Candidates))
+			if opts.Faults != nil {
+				fmt.Printf("faults(%s): survivors=%d reach=%d/%d\n",
+					faultSpec.Spec, opts.Faults.Survivors(), res.Reached, res.ReachTarget)
+			}
+			if !res.Done {
+				return fmt.Errorf("election did not complete within budget")
+			}
+		default:
+			// Any other registered task runs straight off its descriptor.
+			res, err := registryRun(net, desc, faultSpec, *seed, *value, *source, *max, reg)
+			if err != nil {
+				return err
+			}
+			tc.Record(res.Rounds, time.Since(start), res.Done, 0)
+			fmt.Printf("%s(%s): done=%v rounds=%d tx=%d\n", *task, *algo, res.Done, res.Rounds, res.Tx)
+			if !res.Done {
+				return fmt.Errorf("%s did not complete within budget", *task)
+			}
 		}
-		if !res.Done {
-			return fmt.Errorf("broadcast did not complete within budget")
-		}
-	case "leader":
-		opts := radionet.LeaderOptions{
-			Algorithm: radionet.LeaderAlgorithm(*algo),
-			Seed:      *seed,
-			MaxRounds: *max,
-			Faults:    faultPlan(net, desc, faultSpec, *seed, *source, *value),
-		}
-		res, err := net.LeaderElection(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("leader(%s): done=%v rounds=%d leader=node%d id=%d candidates=%d\n",
-			*algo, res.Done, res.Rounds, res.Leader, res.LeaderID, len(res.Candidates))
-		if opts.Faults != nil {
-			fmt.Printf("faults(%s): survivors=%d reach=%d/%d\n",
-				faultSpec.Spec, opts.Faults.Survivors(), res.Reached, res.ReachTarget)
-		}
-		if !res.Done {
-			return fmt.Errorf("election did not complete within budget")
-		}
-	default:
-		// Any other registered task runs straight off its descriptor.
-		res, err := registryRun(net, desc, faultSpec, *seed, *value, *source, *max)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%s(%s): done=%v rounds=%d tx=%d\n", *task, *algo, res.Done, res.Rounds, res.Tx)
-		if !res.Done {
-			return fmt.Errorf("%s did not complete within budget", *task)
+		return nil
+	}()
+	// The manifest is written even for incomplete runs — a budget-exhausted
+	// run is telemetry too.
+	if *manifest != "" {
+		man := buildManifest(scenario, net.G.N(), net.Diameter, *workers, time.Since(start), reg)
+		if err := man.WriteFile(*manifest); err != nil && runErr == nil {
+			runErr = err
 		}
 	}
-	return nil
+	return runErr
+}
+
+// buildManifest assembles the radiosim run manifest: the one-scenario
+// analogue of the campaign manifest, derived from the registry's trial
+// metrics so both tools report the same schema.
+func buildManifest(scenario string, n, d, workers int, wall time.Duration, reg *obs.Registry) *obs.Manifest {
+	man := obs.NewManifest("radiosim")
+	sum := sha256.Sum256([]byte(scenario))
+	man.ConfigHash = hex.EncodeToString(sum[:])
+	man.Generated = time.Now().UTC().Format(time.RFC3339)
+	man.Workers = workers
+	man.WallMS = float64(wall.Nanoseconds()) / 1e6
+	man.Protocols = campaign.RegisteredProtocols()
+	snap := reg.Snapshot()
+	rec := obs.ConfigRecord{
+		Name:     scenario,
+		N:        n,
+		D:        d,
+		Trials:   int(snap.Counters[obs.TrialsCompleted]),
+		Failures: int(snap.Counters[obs.TrialsFailed]),
+	}
+	if h, ok := snap.Histograms[obs.TrialRounds]; ok {
+		rec.RoundsMean = h.Mean()
+	}
+	if h, ok := snap.Histograms[obs.TrialWall]; ok {
+		rec.WallMSTotal = float64(h.Sum) / 1000
+		if rec.Trials > 0 {
+			rec.WallMSMean = rec.WallMSTotal / float64(rec.Trials)
+		}
+	}
+	man.Configs = []obs.ConfigRecord{rec}
+	man.Metrics = snap
+	return man
 }
 
 // faultPlan realizes fs on the network for one run seeded by seed,
@@ -212,13 +285,14 @@ func trialSources(desc *protocol.Descriptor, source int, value int64) map[int]in
 // sugar (multicast, partition, and whatever gets registered next). Done
 // is gated on the descriptor's postcondition check exactly as the
 // campaign and the facade gate it — the CLIs must agree on one seed.
-func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64) (protocol.Result, error) {
+func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, reg *obs.Registry) (protocol.Result, error) {
 	r, err := desc.Build(protocol.BuildParams{
 		G:       net.G,
 		D:       net.Diameter,
 		Seed:    seed,
 		Sources: trialSources(desc, source, value),
 		Faults:  faultPlan(net, desc, fs, seed, source, value),
+		Hook:    obs.NewEngineCollector(reg).Hook(),
 	})
 	if err != nil {
 		return protocol.Result{}, err
@@ -234,13 +308,14 @@ func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.F
 // scenario across the campaign worker pool, each with its own RNG stream
 // derived from the master seed, reduced to aggregate round statistics.
 // Output is identical for every -workers value.
-func runTrials(net *radionet.Network, desc *protocol.Descriptor, task, algo string, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, trials, workers int) error {
+func runTrials(net *radionet.Network, desc *protocol.Descriptor, task, algo string, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, trials, workers int, reg *obs.Registry, tc *obs.TrialCollector) error {
 	seeds := rng.New(seed).Fork(0x7215)
 	rounds := make([]float64, trials)
 	failed := make([]bool, trials)
 	errs := make([]error, trials)
 	campaign.ForEach(workers, trials, func(i int) {
 		trialSeed := seeds.Fork(uint64(i)).Uint64()
+		trialStart := time.Now()
 		var (
 			res radionet.Result
 			err error
@@ -251,6 +326,7 @@ func runTrials(net *radionet.Network, desc *protocol.Descriptor, task, algo stri
 				Algorithm: radionet.Algorithm(algo),
 				Seed:      trialSeed,
 				MaxRounds: max,
+				Metrics:   reg,
 				Faults:    faultPlan(net, desc, fs, trialSeed, source, value),
 			})
 		case "leader":
@@ -259,12 +335,13 @@ func runTrials(net *radionet.Network, desc *protocol.Descriptor, task, algo stri
 				Algorithm: radionet.LeaderAlgorithm(algo),
 				Seed:      trialSeed,
 				MaxRounds: max,
+				Metrics:   reg,
 				Faults:    faultPlan(net, desc, fs, trialSeed, source, value),
 			})
 			res = lr.Result
 		default:
 			var pres protocol.Result
-			pres, err = registryRun(net, desc, fs, trialSeed, value, source, max)
+			pres, err = registryRun(net, desc, fs, trialSeed, value, source, max, reg)
 			res = radionet.Result{Rounds: pres.Rounds, Done: pres.Done}
 		}
 		if err != nil {
@@ -272,6 +349,7 @@ func runTrials(net *radionet.Network, desc *protocol.Descriptor, task, algo stri
 			failed[i] = true
 			return
 		}
+		tc.Record(res.Rounds, time.Since(trialStart), res.Done, 0)
 		rounds[i] = float64(res.Rounds)
 		failed[i] = !res.Done
 	})

@@ -98,6 +98,12 @@ type binarySearchRunner struct {
 	res LEResult
 }
 
+// DefaultBudget implements protocol.Budgeted: the whp per-bit broadcast
+// budget times the ID-bit count (what Run(0) executes at most).
+func (r *binarySearchRunner) DefaultBudget() int64 {
+	return r.le.tbc * int64(r.le.idBits)
+}
+
 func (r *binarySearchRunner) Run(budget int64) protocol.Result {
 	if budget > 0 {
 		tbc := budget / int64(r.le.idBits)
@@ -147,6 +153,9 @@ type maxBroadcastRunner struct {
 	m   *MaxBroadcastLE
 	res LEResult
 }
+
+// DefaultBudget implements protocol.Budgeted.
+func (r *maxBroadcastRunner) DefaultBudget() int64 { return r.m.budget }
 
 func (r *maxBroadcastRunner) Run(budget int64) protocol.Result {
 	if budget > 0 {

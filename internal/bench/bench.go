@@ -1,0 +1,245 @@
+// Package bench pins the repo's performance-trajectory benchmark grids:
+// small, named campaign matrices whose measured wall times are committed
+// as schema-versioned BENCH_<grid>.json files at the repo root. Each
+// commit that touches the hot path regenerates them (cmd/bench), so the
+// simulator's throughput history is diffable in git rather than folklore.
+//
+// The numbers are telemetry, not golden output: wall times vary by
+// machine, so CI only checks that the files parse and validate — the
+// trajectory itself is for humans (and ROADMAP item 3).
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"radionet/internal/campaign"
+	"radionet/internal/obs"
+)
+
+// SchemaVersion is bumped on any incompatible File change.
+const SchemaVersion = 1
+
+// File is one emitted BENCH_<grid>.json: the grid identity, the execution
+// environment and one record per grid configuration. Entries reuse the
+// manifest's per-config record type — one schema across every tool.
+type File struct {
+	SchemaVersion int    `json:"schema_version"`
+	Grid          string `json:"grid"`
+	// Generated is an RFC3339 timestamp (optional).
+	Generated string `json:"generated,omitempty"`
+	// Go, GOMAXPROCS and Workers record the execution environment.
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	// ConfigHash fingerprints the expanded matrix (campaign.Matrix.Hash),
+	// so two files are comparable only when their hashes agree.
+	ConfigHash string `json:"config_hash"`
+	// Quick marks a -quick run (CI smoke scale, not the pinned grid).
+	Quick bool `json:"quick,omitempty"`
+	// WallMS is the whole-run wall time; RoundsPerSec the aggregate
+	// simulated-rounds throughput over it.
+	WallMS       float64 `json:"wall_ms"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// Entries are the per-configuration records, in configuration order.
+	Entries []obs.ConfigRecord `json:"entries"`
+}
+
+// Grid is one named pinned benchmark matrix.
+type Grid struct {
+	Name    string
+	Summary string
+	// matrix builds the grid's campaign matrix; quick selects the
+	// seconds-scale CI variant instead of the pinned full scale.
+	matrix func(quick bool) campaign.Matrix
+}
+
+// Matrix returns the grid's campaign matrix (a fresh copy per call).
+func (g Grid) Matrix(quick bool) campaign.Matrix { return g.matrix(quick) }
+
+// The pinned grids. Full scale is n ∈ {1e4, 1e5} on sparse random trees —
+// the topology family the ROADMAP's large-n items benchmark — with enough
+// seeds that per-config means are stable but a full run stays in minutes.
+var grids = map[string]Grid{
+	"decay": {
+		Name:    "decay",
+		Summary: "oblivious Decay-family broadcast (bgi, truncated-decay) at n=1e4/1e5: the per-round engine hot path",
+		matrix: func(quick bool) campaign.Matrix {
+			m := campaign.Matrix{
+				Topologies: []string{"randtree:10000", "randtree:100000"},
+				Algorithms: []campaign.AlgoSpec{
+					{Task: campaign.Broadcast, Algo: "bgi"},
+					{Task: campaign.Broadcast, Algo: "truncated-decay"},
+				},
+				Seeds:      3,
+				MasterSeed: 1,
+			}
+			if quick {
+				m.Topologies = []string{"randtree:2000"}
+				m.Seeds = 2
+			}
+			return m
+		},
+	},
+	"compete": {
+		Name:    "compete",
+		Summary: "the paper's cd17 clustering pipeline at n=1e4/1e5: precomputation plus the bulk broadcast path",
+		matrix: func(quick bool) campaign.Matrix {
+			m := campaign.Matrix{
+				Topologies: []string{"randtree:10000", "randtree:100000"},
+				Algorithms: []campaign.AlgoSpec{
+					{Task: campaign.Broadcast, Algo: "cd17"},
+				},
+				Seeds:      2,
+				MasterSeed: 1,
+			}
+			if quick {
+				m.Topologies = []string{"randtree:2000"}
+			}
+			return m
+		},
+	},
+}
+
+// Grids lists the pinned grids in name order.
+func Grids() []Grid {
+	names := make([]string, 0, len(grids))
+	for n := range grids {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Grid, len(names))
+	for i, n := range names {
+		out[i] = grids[n]
+	}
+	return out
+}
+
+// LookupGrid resolves a grid by name.
+func LookupGrid(name string) (Grid, bool) {
+	g, ok := grids[name]
+	return g, ok
+}
+
+// Run executes one grid and assembles its File. workers 0 means
+// GOMAXPROCS; the run itself is silent (no sinks) — the measurements come
+// from the campaign's telemetry surface.
+func Run(g Grid, quick bool, workers int) (*File, error) {
+	m := g.Matrix(quick)
+	var st campaign.RunStats
+	c := campaign.Campaign{Matrix: m, Workers: workers, Obs: obs.NewRegistry(), Stats: &st}
+	if _, err := c.Run(); err != nil {
+		return nil, fmt.Errorf("bench: grid %s: %w", g.Name, err)
+	}
+	f := FromStats(g.Name, m, &st, c.Obs)
+	f.Quick = quick
+	return f, nil
+}
+
+// FromStats assembles a File from an already-executed campaign's matrix,
+// RunStats and registry — the seam cmd/campaign -bench-out uses to emit
+// bench records for ad-hoc matrices (grid name "custom").
+func FromStats(grid string, m campaign.Matrix, st *campaign.RunStats, reg *obs.Registry) *File {
+	man := obs.NewManifest("bench")
+	f := &File{
+		SchemaVersion: SchemaVersion,
+		Grid:          grid,
+		Go:            man.GoVersion,
+		GOMAXPROCS:    man.GOMAXPROCS,
+		ConfigHash:    m.Hash(),
+	}
+	if st != nil {
+		f.Workers = st.Workers
+		f.WallMS = float64(st.Wall.Nanoseconds()) / 1e6
+		for _, cs := range st.Configs {
+			rec := obs.ConfigRecord{
+				Name:        cs.Name,
+				N:           cs.N,
+				D:           cs.D,
+				Trials:      cs.Trials,
+				Failures:    cs.Failures,
+				RoundsMean:  cs.RoundsMean,
+				WallMSTotal: float64(cs.Wall.Nanoseconds()) / 1e6,
+			}
+			if cs.Trials > 0 {
+				rec.WallMSMean = rec.WallMSTotal / float64(cs.Trials)
+			}
+			f.Entries = append(f.Entries, rec)
+		}
+	}
+	if reg != nil {
+		f.RoundsPerSec = float64(reg.Gauge(obs.EngineRoundsPerSec).Value())
+	}
+	return f
+}
+
+// Parse decodes and validates a bench file, rejecting unknown fields so
+// schema drift fails loudly in CI rather than silently dropping data.
+func Parse(b []byte) (*File, error) {
+	var f File
+	if err := strictUnmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// ParseFile is Parse over a file path.
+func ParseFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	f, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Validate checks the file's internal consistency: the supported schema
+// version and sane per-entry invariants.
+func (f *File) Validate() error {
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: schema_version %d, supported %d", f.SchemaVersion, SchemaVersion)
+	}
+	if f.Grid == "" {
+		return fmt.Errorf("bench: missing grid name")
+	}
+	if len(f.Entries) == 0 {
+		return fmt.Errorf("bench: grid %s has no entries", f.Grid)
+	}
+	for i, e := range f.Entries {
+		switch {
+		case e.Name == "":
+			return fmt.Errorf("bench: grid %s entry %d: missing name", f.Grid, i)
+		case e.Trials <= 0:
+			return fmt.Errorf("bench: grid %s entry %s: trials %d", f.Grid, e.Name, e.Trials)
+		case e.Failures < 0 || e.Failures > e.Trials:
+			return fmt.Errorf("bench: grid %s entry %s: failures %d of %d trials", f.Grid, e.Name, e.Failures, e.Trials)
+		case e.RoundsMean < 0 || e.WallMSTotal < 0 || e.WallMSMean < 0:
+			return fmt.Errorf("bench: grid %s entry %s: negative measurement", f.Grid, e.Name)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the bench file as indented JSON to path.
+func (f *File) WriteFile(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

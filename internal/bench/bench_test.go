@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"radionet/internal/obs"
+	"strings"
+	"testing"
+)
+
+func TestGridsListedAndResolvable(t *testing.T) {
+	gs := Grids()
+	if len(gs) < 2 {
+		t.Fatalf("want >= 2 pinned grids, got %d", len(gs))
+	}
+	for _, g := range gs {
+		if _, ok := LookupGrid(g.Name); !ok {
+			t.Fatalf("grid %s not resolvable", g.Name)
+		}
+		// Both variants must expand cleanly.
+		for _, quick := range []bool{false, true} {
+			if _, err := g.Matrix(quick).Expand(); err != nil {
+				t.Fatalf("grid %s (quick=%v): %v", g.Name, quick, err)
+			}
+		}
+	}
+	if _, ok := LookupGrid("no-such-grid"); ok {
+		t.Fatal("bogus grid resolved")
+	}
+}
+
+// TestRunQuickRoundTrip runs the decay grid at quick scale and round-trips
+// the emitted file through Parse — the same check CI applies to the
+// committed BENCH_*.json files.
+func TestRunQuickRoundTrip(t *testing.T) {
+	g, _ := LookupGrid("decay")
+	f, err := Run(g, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Quick || f.Grid != "decay" || f.SchemaVersion != SchemaVersion {
+		t.Fatalf("file header wrong: %+v", f)
+	}
+	if len(f.Entries) != 2 { // one topology x two algorithms
+		t.Fatalf("entries = %d, want 2", len(f.Entries))
+	}
+	for _, e := range f.Entries {
+		if e.Trials != 2 || e.RoundsMean <= 0 || e.WallMSTotal <= 0 {
+			t.Fatalf("implausible entry: %+v", e)
+		}
+	}
+	if f.RoundsPerSec <= 0 {
+		t.Fatalf("rounds_per_sec = %v", f.RoundsPerSec)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_decay.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ConfigHash != f.ConfigHash || len(back.Entries) != len(f.Entries) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, f)
+	}
+}
+
+func TestParseRejectsBadFiles(t *testing.T) {
+	good := &File{
+		SchemaVersion: SchemaVersion,
+		Grid:          "decay",
+		Entries:       []obs.ConfigRecord{{Name: "randtree:2000/broadcast:bgi", N: 2000, D: 20, Trials: 2, RoundsMean: 100, WallMSTotal: 1, WallMSMean: 0.5}},
+	}
+	b, _ := json.Marshal(good)
+	if _, err := Parse(b); err != nil {
+		t.Fatalf("good file rejected: %v", err)
+	}
+	cases := map[string]func(f *File){
+		"schema":   func(f *File) { f.SchemaVersion = SchemaVersion + 1 },
+		"grid":     func(f *File) { f.Grid = "" },
+		"entries":  func(f *File) { f.Entries = nil },
+		"trials":   func(f *File) { f.Entries[0].Trials = 0 },
+		"failures": func(f *File) { f.Entries[0].Failures = 3 },
+		"negative": func(f *File) { f.Entries[0].WallMSTotal = -1 },
+	}
+	for name, mutate := range cases {
+		f := *good
+		f.Entries = append([]obs.ConfigRecord(nil), good.Entries...)
+		mutate(&f)
+		b, _ := json.Marshal(&f)
+		if _, err := Parse(b); err == nil {
+			t.Errorf("%s: bad file accepted", name)
+		}
+	}
+	// Unknown fields are schema drift, not data.
+	if _, err := Parse([]byte(`{"schema_version":1,"grid":"g","bogus":true,"entries":[]}`)); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown field accepted: %v", err)
+	}
+}

@@ -24,8 +24,10 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"radionet/internal/graph"
+	"radionet/internal/obs"
 	"radionet/internal/protocol"
 	"radionet/internal/rng"
 )
@@ -225,6 +227,22 @@ type Campaign struct {
 	// Timings includes wall-time aggregates in the output. They are
 	// non-deterministic, so sinks omit them unless asked.
 	Timings bool
+
+	// The telemetry surface. All three fields are strictly output-neutral:
+	// they observe the run (engine rounds, trial outcomes, wall times)
+	// without changing a byte of what reaches the sinks, at any Workers.
+	//
+	// Obs, when non-nil, collects engine counters (obs.Engine*), trial
+	// histograms (obs.Trial*) and per-worker utilization counters
+	// ("worker.NN.busy_us"/"worker.NN.trials") into the registry.
+	Obs *obs.Registry
+	// Progress, when non-nil, receives a live \r-rewritten status line
+	// (done/total, ETA, current config). Point it at stderr, never at a
+	// sink stream.
+	Progress io.Writer
+	// Stats, when non-nil, is filled with the run's execution record
+	// (whole-run and per-config wall times) for manifests and benchmarks.
+	Stats *RunStats
 }
 
 // Run expands the matrix, executes every trial across the worker pool, and
@@ -248,6 +266,26 @@ func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
 	for ci := range plan.Configs {
 		scratches[ci] = NewScratch(&plan.Configs[ci])
 	}
+
+	// Telemetry setup. All collectors are nil-safe no-ops when Obs is nil,
+	// and none of them touches the sink stream.
+	start := time.Now()
+	workers := ResolveWorkers(c.Workers, len(plan.Trials))
+	engineHook := obs.NewEngineCollector(c.Obs).Hook()
+	trialObs := obs.NewTrialCollector(c.Obs)
+	roundsBefore := int64(0)
+	var workerBusy, workerTrials []*obs.Counter
+	if c.Obs != nil {
+		roundsBefore = c.Obs.Counter(obs.EngineRounds).Value()
+		workerBusy = make([]*obs.Counter, workers)
+		workerTrials = make([]*obs.Counter, workers)
+		for w := range workerBusy {
+			workerBusy[w] = c.Obs.Counter(fmt.Sprintf("worker.%02d.busy_us", w))
+			workerTrials[w] = c.Obs.Counter(fmt.Sprintf("worker.%02d.trials", w))
+		}
+	}
+	prog := newProgress(c.Progress, len(plan.Trials))
+	cfgWall := make([]time.Duration, len(plan.Configs))
 
 	var (
 		mu        sync.Mutex
@@ -273,14 +311,45 @@ func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
 			nextCfg++
 		}
 	}
-	ForEach(c.Workers, len(plan.Trials), func(i int) {
+	ForEachWorker(c.Workers, len(plan.Trials), func(w, i int) {
 		tr := plan.Trials[i]
-		results[i] = RunTrialScratch(&plan.Configs[tr.Cfg], tr.Seed, plan.Max, scratches[tr.Cfg])
+		res := runTrialScratchHook(&plan.Configs[tr.Cfg], tr.Seed, plan.Max, scratches[tr.Cfg], engineHook)
+		results[i] = res
+		trialObs.Record(res.Rounds, res.Wall, res.Done, res.Budget)
+		if workerBusy != nil {
+			workerBusy[w].Add(res.Wall.Microseconds())
+			workerTrials[w].Inc()
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		remaining[tr.Cfg]--
+		cfgWall[tr.Cfg] += res.Wall
+		prog.step(&plan.Configs[tr.Cfg])
 		flush()
 	})
+	prog.finish()
+	wall := time.Since(start)
+	if c.Obs != nil {
+		if secs := wall.Seconds(); secs > 0 {
+			delta := c.Obs.Counter(obs.EngineRounds).Value() - roundsBefore
+			c.Obs.Gauge(obs.EngineRoundsPerSec).Set(int64(float64(delta) / secs))
+		}
+	}
+	if c.Stats != nil {
+		*c.Stats = RunStats{Wall: wall, Workers: workers, Configs: make([]ConfigStats, len(plan.Configs))}
+		for ci := range plan.Configs {
+			cfg := &plan.Configs[ci]
+			cs := &c.Stats.Configs[ci]
+			cs.Name = cfg.Name()
+			cs.N, cs.D = cfg.G.N(), cfg.D
+			cs.Trials = plan.Seeds
+			cs.Wall = cfgWall[ci]
+			if ci < len(summaries) {
+				cs.Failures = summaries[ci].Failures
+				cs.RoundsMean = summaries[ci].Rounds.Mean
+			}
+		}
+	}
 	for _, sk := range sinks {
 		if err := sk.Close(); err != nil && sinkErr == nil {
 			sinkErr = err

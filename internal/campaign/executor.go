@@ -17,8 +17,16 @@ import (
 // A panic in any fn is re-raised on the calling goroutine after the pool
 // drains, matching the behavior of an inline loop closely enough for tests.
 func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ResolveWorkers returns the worker-pool size ForEach actually runs with:
+// workers, defaulted to GOMAXPROCS and clamped to the item count. Callers
+// sizing per-worker state (the campaign's utilization counters) use it so
+// their indexing matches the pool.
+func ResolveWorkers(workers, n int) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -26,9 +34,21 @@ func ForEach(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// ForEachWorker is ForEach with the pool slot exposed: fn(w, i) runs item
+// i on worker w, with w in [0, ResolveWorkers(workers, n)). The slot is
+// stable per goroutine — the seam per-worker telemetry hangs off — and
+// carries no scheduling meaning beyond that.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = ResolveWorkers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -40,7 +60,7 @@ func ForEach(workers, n int, fn func(i int)) {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -58,9 +78,9 @@ func ForEach(workers, n int, fn func(i int)) {
 				if i >= int64(n) {
 					return
 				}
-				fn(int(i))
+				fn(w, int(i))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if panicked != nil {

@@ -1,0 +1,110 @@
+// Run statistics and manifests: the non-deterministic execution record of
+// a campaign — wall times, worker counts — collected strictly outside the
+// sink stream, so enabling telemetry never changes a byte of deterministic
+// output. RunStats is the in-process form; Campaign.Manifest renders it
+// into the machine-readable obs.Manifest schema shared by every tool.
+
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"time"
+
+	"radionet/internal/obs"
+	"radionet/internal/protocol"
+)
+
+// Name identifies the configuration in progress lines and manifests:
+// "topology/task:algo", plus the fault spec when the cell sits on a fault
+// axis.
+func (cfg *Config) Name() string {
+	s := cfg.Topology + "/" + cfg.Spec.String()
+	if cfg.Fault.Spec != "" {
+		s += "/" + cfg.Fault.Spec
+	}
+	return s
+}
+
+// RunStats is the execution record of one Campaign.Run: everything a
+// manifest needs that the deterministic summaries cannot carry. Point
+// Campaign.Stats at a zero RunStats and Run fills it.
+type RunStats struct {
+	// Wall is the whole-run wall time (expansion through last trial).
+	Wall time.Duration
+	// Workers is the resolved worker-pool size the run executed with.
+	Workers int
+	// Configs holds per-configuration stats, in configuration order.
+	Configs []ConfigStats
+}
+
+// ConfigStats is one configuration's slice of RunStats.
+type ConfigStats struct {
+	// Name is the configuration identifier (Config.Name).
+	Name string
+	N, D int
+	// Trials and Failures mirror the configuration's ConfigSummary.
+	Trials, Failures int
+	// RoundsMean is the mean executed round count across the trials.
+	RoundsMean float64
+	// Wall is the summed execution time of the configuration's trials. It
+	// overlaps across workers, so config walls may sum past RunStats.Wall.
+	Wall time.Duration
+}
+
+// Hash fingerprints the matrix: the hex sha256 of its canonical JSON
+// encoding. Identical matrices hash identically across machines and
+// commits, which is what makes manifests from repeated runs linkable.
+func (m Matrix) Hash() string {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "" // unreachable: every Matrix field marshals
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// RegisteredProtocols lists the full protocol registry as "task:name" —
+// the manifest convention for recording what the binary could have run.
+func RegisteredProtocols() []string {
+	var out []string
+	for _, t := range protocol.Tasks() {
+		for _, d := range protocol.ByTask(t) {
+			out = append(out, string(d.Task)+":"+d.Name)
+		}
+	}
+	return out
+}
+
+// Manifest renders the run's machine-readable record from the campaign's
+// configuration, the RunStats a Run filled (nil for a manifest without
+// execution stats) and the campaign's metric registry.
+func (c *Campaign) Manifest(tool string, st *RunStats) *obs.Manifest {
+	m := obs.NewManifest(tool)
+	m.ConfigHash = c.Matrix.Hash()
+	m.Protocols = RegisteredProtocols()
+	if st != nil {
+		m.Workers = st.Workers
+		m.WallMS = durMS(st.Wall)
+		for _, cs := range st.Configs {
+			rec := obs.ConfigRecord{
+				Name:        cs.Name,
+				N:           cs.N,
+				D:           cs.D,
+				Trials:      cs.Trials,
+				Failures:    cs.Failures,
+				RoundsMean:  cs.RoundsMean,
+				WallMSTotal: durMS(cs.Wall),
+			}
+			if cs.Trials > 0 {
+				rec.WallMSMean = rec.WallMSTotal / float64(cs.Trials)
+			}
+			m.Configs = append(m.Configs, rec)
+		}
+	}
+	m.Metrics = c.Obs.Snapshot()
+	return m
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

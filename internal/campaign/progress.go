@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// progress renders a single live status line: trials done/total, percent,
+// elapsed time, an ETA extrapolated from the mean trial rate, and the
+// configuration that just finished. It rewrites the line in place with
+// \r, so it belongs on a terminal-ish writer (cmd/campaign -progress uses
+// stderr) and never on a sink stream — telemetry must not perturb
+// deterministic output.
+type progress struct {
+	w     io.Writer
+	total int
+	start time.Time
+
+	done    int
+	last    time.Time
+	lastLen int
+}
+
+// newProgress returns nil for a nil writer; all methods are nil-safe, so
+// the campaign calls them unconditionally.
+func newProgress(w io.Writer, total int) *progress {
+	if w == nil || total <= 0 {
+		return nil
+	}
+	return &progress{w: w, total: total, start: time.Now()}
+}
+
+// step records one finished trial of cfg and redraws the line, throttled
+// to ~10 Hz (the final trial always draws). Callers serialize steps — the
+// campaign calls it under its aggregation mutex.
+func (p *progress) step(cfg *Config) {
+	if p == nil {
+		return
+	}
+	p.done++
+	now := time.Now()
+	if p.done < p.total && now.Sub(p.last) < 100*time.Millisecond {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+	line := fmt.Sprintf("campaign: %d/%d trials (%d%%)  elapsed %s  eta %s  [%s]",
+		p.done, p.total, 100*p.done/p.total,
+		elapsed.Round(time.Second), eta.Round(time.Second), cfg.Name())
+	// Pad over any longer previous line so stale tail characters never
+	// linger after the cursor returns.
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.lastLen = len(line)
+}
+
+// finish terminates the line with a newline (the final step already drew
+// the 100% state).
+func (p *progress) finish() {
+	if p == nil {
+		return
+	}
+	fmt.Fprintln(p.w)
+}

@@ -62,6 +62,11 @@ type TrialResult struct {
 	// Wall is the measured execution time. It is inherently
 	// non-deterministic and excluded from sink output unless requested.
 	Wall time.Duration
+	// Budget is the trial's effective round budget — maxRounds when the
+	// caller set one, else the runner's resolved default where it exposes
+	// one (protocol.Budgeted), else 0. Telemetry only (budget-fraction
+	// histograms); never aggregated into sink output.
+	Budget int64
 }
 
 // Scratch carries the reusable, seed-independent part of one Config's
@@ -97,6 +102,14 @@ func RunTrial(cfg *Config, seed uint64, maxRounds int64) TrialResult {
 // precomputation across a configuration's seed axis. A nil scr builds a
 // fresh scratch for this trial alone.
 func RunTrialScratch(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResult {
+	return runTrialScratchHook(cfg, seed, maxRounds, scr, nil)
+}
+
+// runTrialScratchHook is the full trial entry point: RunTrialScratch plus
+// an optional engine round hook (the campaign's shared obs collector).
+// The hook observes rounds; it never changes them — telemetry stays
+// strictly output-neutral.
+func runTrialScratchHook(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, hook radio.RoundHook) TrialResult {
 	if scr == nil || scr.val == nil {
 		// Also rebuilds a zero-valued Scratch handed in for a config whose
 		// descriptor expects one; for scratch-free configs the rebuilt
@@ -104,7 +117,7 @@ func RunTrialScratch(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) Tr
 		scr = NewScratch(cfg)
 	}
 	start := time.Now()
-	res := runTrial(cfg, seed, maxRounds, scr)
+	res := runTrial(cfg, seed, maxRounds, scr, hook)
 	res.Wall = time.Since(start)
 	return res
 }
@@ -140,7 +153,7 @@ func faultResult(res TrialResult, cfg *Config, plan *radio.FaultPlan, reached, t
 // realize the fault plan, build the runner, run it, verify. Every
 // algorithm-specific decision — constructors, budget defaults, metric
 // extraction — lives behind the registry.
-func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResult {
+func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, hook radio.RoundHook) TrialResult {
 	desc, err := lookup(cfg.Spec)
 	if err != nil {
 		return TrialResult{Err: err.Error(), Reason: "error"}
@@ -160,12 +173,22 @@ func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResu
 		Sources: sources,
 		Faults:  plan,
 		Scratch: scr.val,
+		Hook:    hook,
 	})
 	if err != nil {
 		return TrialResult{Err: err.Error(), Reason: "error"}
 	}
+	// The effective budget, resolved before Run (a Budgeted runner may
+	// fold an explicit budget into the same state afterwards).
+	budget := maxRounds
+	if budget <= 0 {
+		budget = 0
+		if b, ok := r.(protocol.Budgeted); ok {
+			budget = b.DefaultBudget()
+		}
+	}
 	res := r.Run(maxRounds)
-	out := TrialResult{Rounds: res.Rounds, Tx: res.Tx, Done: res.Done}
+	out := TrialResult{Rounds: res.Rounds, Tx: res.Tx, Done: res.Done, Budget: budget}
 	if res.Done && res.Verify != nil && res.Verify() != nil {
 		// The run finished within budget but the postcondition failed —
 		// a distinct failure class fail_reasons must not fold into

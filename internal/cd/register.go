@@ -53,6 +53,9 @@ type beepRunner struct {
 	d int
 }
 
+// DefaultBudget implements protocol.Budgeted.
+func (r beepRunner) DefaultBudget() int64 { return r.b.RoundsNeeded(r.d) + 16 }
+
 func (r beepRunner) Run(budget int64) protocol.Result {
 	if budget <= 0 {
 		budget = r.b.RoundsNeeded(r.d) + 16

@@ -52,6 +52,9 @@ type partitionRunner struct {
 	d *Distributed
 }
 
+// DefaultBudget implements protocol.Budgeted.
+func (r partitionRunner) DefaultBudget() int64 { return r.d.MaxPhases * r.d.PhaseLen }
+
 func (r partitionRunner) Run(budget int64) protocol.Result {
 	def := r.d.MaxPhases * r.d.PhaseLen
 	if budget <= 0 || budget > def {

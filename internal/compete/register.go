@@ -139,6 +139,9 @@ type competeRunner struct {
 	c *Compete
 }
 
+// DefaultBudget implements protocol.Budgeted.
+func (r competeRunner) DefaultBudget() int64 { return 8 * r.c.Budget() }
+
 func (r competeRunner) Run(budget int64) protocol.Result {
 	if budget <= 0 {
 		budget = 8 * r.c.Budget()
@@ -176,6 +179,11 @@ func buildBroadcast(p protocol.BuildParams, hw16 bool) (protocol.Runner, error) 
 
 type leaderRunner struct {
 	le *LeaderElection
+}
+
+// DefaultBudget implements protocol.Budgeted.
+func (r leaderRunner) DefaultBudget() int64 {
+	return competeRunner{c: r.le.Compete}.DefaultBudget()
 }
 
 func (r leaderRunner) Run(budget int64) protocol.Result {

@@ -43,6 +43,9 @@ type Runner struct {
 	Default int64
 }
 
+// DefaultBudget implements protocol.Budgeted.
+func (r Runner) DefaultBudget() int64 { return r.Default }
+
 // Run implements protocol.Runner.
 func (r Runner) Run(budget int64) protocol.Result {
 	if budget <= 0 {

@@ -49,6 +49,12 @@ type runner struct {
 	le *LE
 }
 
+// DefaultBudget implements protocol.Budgeted: the < 2T total of the
+// tournament (knockout phases) plus the agreement broadcast (budget T).
+func (r runner) DefaultBudget() int64 {
+	return 2 * DefaultBudget(r.le.g.N(), r.le.d)
+}
+
 func (r runner) Run(budget int64) protocol.Result {
 	rounds, done := r.le.Run(budget)
 	return protocol.Result{

@@ -119,6 +119,9 @@ type pipelinedRunner struct {
 	def int64
 }
 
+// DefaultBudget implements protocol.Budgeted.
+func (r pipelinedRunner) DefaultBudget() int64 { return r.def }
+
 func (r pipelinedRunner) Run(budget int64) protocol.Result {
 	if budget <= 0 {
 		budget = r.def

@@ -1,0 +1,80 @@
+// The debug HTTP endpoint: expvar-format metric snapshots plus
+// net/http/pprof, on an explicitly constructed mux so nothing leaks into
+// http.DefaultServeMux and nothing is published into expvar's global
+// namespace (tests and future multi-campaign servers can run any number
+// of these side by side).
+
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux returns a mux serving:
+//
+//	/debug/vars   — expvar-format JSON: every globally published expvar
+//	                (cmdline, memstats, ...) plus the registry's live
+//	                snapshot under "radionet_metrics"
+//	/debug/pprof/ — the standard pprof index, profile, heap, trace, ...
+//
+// The registry snapshot is taken per request, so a scrape during a
+// running campaign sees live counters.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		snap, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			snap = []byte("{}")
+		}
+		fmt.Fprintf(w, "%q: %s", "radionet_metrics", snap)
+		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug endpoint.
+type DebugServer struct {
+	// Addr is the bound listen address (resolves ":0" to the real port).
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// StartDebugServer listens on addr and serves NewDebugMux(reg) in a
+// background goroutine. It returns once the listener is bound, so the
+// endpoint is scrapeable immediately; Close shuts it down.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg)}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the server and its listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

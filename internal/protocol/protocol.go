@@ -131,6 +131,18 @@ type Runner interface {
 	Run(budget int64) Result
 }
 
+// Budgeted is an optional Runner extension for telemetry: DefaultBudget
+// reports the round budget Run applies when the caller passes budget <= 0
+// (the descriptor's documented whp-sufficient policy, resolved for this
+// run's topology). The trial runner uses it to compute budget-fraction-
+// used metrics; runners without it simply skip that histogram. Call it
+// before Run — composite runners may fold an explicit budget into the
+// same state.
+type Budgeted interface {
+	Runner
+	DefaultBudget() int64
+}
+
 // LeaderRunner is the extra surface leader-task runners expose for callers
 // that need the election outcome (the radionet facade, cmd/radiosim).
 type LeaderRunner interface {

@@ -132,6 +132,39 @@ type Metrics struct {
 // round's delivery and collision counts.
 type RoundHook func(round int64, transmitters []int32, deliveries, collisions int)
 
+// ChainHooks composes round hooks: the returned hook invokes every
+// non-nil argument in order, with identical arguments. Nil entries are
+// dropped, so callers chain unconditionally ("ChainHooks(e.Hook, mine)");
+// zero live hooks return nil and a single live hook is returned as-is, so
+// chaining never adds a dispatch layer it doesn't need. This is how
+// tracing, fault accounting and metrics collection share the engine's
+// single Hook slot without clobbering each other.
+func ChainHooks(hooks ...RoundHook) RoundHook {
+	live := hooks[:0:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(round int64, transmitters []int32, deliveries, collisions int) {
+		for _, h := range live {
+			h(round, transmitters, deliveries, collisions)
+		}
+	}
+}
+
+// AddHook appends h to the engine's hook chain, preserving any installed
+// hook (the composing alternative to assigning Hook directly).
+func (e *Engine) AddHook(h RoundHook) {
+	e.Hook = ChainHooks(e.Hook, h)
+}
+
 // BulkActor is an optional protocol-side fast path for the Act half of a
 // round: one call computes the whole round's transmissions, replacing n
 // interface dispatches (and n Action returns) with a single call into a

@@ -105,3 +105,102 @@ type beacon struct{}
 
 func (beacon) Act(int64) radio.Action           { return radio.Transmit(radio.Message{A: 1}) }
 func (beacon) Recv(int64, *radio.Message, bool) {}
+
+// TestAttachComposesWithInstalledHook is the hook-clobbering regression
+// test on the trace side: Attach must chain with an already-installed
+// engine hook, and both must observe every round.
+func TestAttachComposesWithInstalledHook(t *testing.T) {
+	g := graph.Path(3)
+	e := radio.NewEngine(g, []radio.Node{beacon{}, radio.Silent{}, beacon{}})
+	preInstalled := 0
+	e.Hook = func(int64, []int32, int, int) { preInstalled++ }
+	rec := (&Recorder{}).Attach(e)
+	const rounds = 7
+	for i := 0; i < rounds; i++ {
+		e.Step()
+	}
+	if preInstalled != rounds {
+		t.Fatalf("pre-installed hook saw %d rounds, want %d (clobbered by Attach?)", preInstalled, rounds)
+	}
+	if rec.Rounds() != rounds {
+		t.Fatalf("recorder saw %d rounds, want %d", rec.Rounds(), rounds)
+	}
+}
+
+// TestDownsamplingExactTotals drives a recorder far past its sample cap
+// and checks the memory bound plus the exactness contract: Rounds and
+// Totals never lose a count, whatever the compaction history.
+func TestDownsamplingExactTotals(t *testing.T) {
+	rec := &Recorder{MaxSamples: 64}
+	hook := rec.HookFunc()
+	const rounds = 100_000
+	var wantTx, wantDel, wantCol int64
+	ids := []int32{1, 2, 3}
+	for i := 0; i < rounds; i++ {
+		tx := ids[:1+i%3]
+		del := i % 2
+		col := i % 5
+		wantTx += int64(len(tx))
+		wantDel += int64(del)
+		wantCol += int64(col)
+		hook(int64(i), tx, del, col)
+	}
+	if len(rec.Samples) > 64 {
+		t.Fatalf("samples grew to %d, cap 64", len(rec.Samples))
+	}
+	if rec.Rounds() != rounds {
+		t.Fatalf("rounds = %d, want %d", rec.Rounds(), rounds)
+	}
+	tx, del, col := rec.Totals()
+	if tx != wantTx || del != wantDel || col != wantCol {
+		t.Fatalf("totals (%d,%d,%d) != exact (%d,%d,%d)", tx, del, col, wantTx, wantDel, wantCol)
+	}
+	if rec.Scale() < rounds/64 {
+		t.Fatalf("scale = %d, want >= %d", rec.Scale(), rounds/64)
+	}
+	// Downsampled per-node counts stay exact too (they're per-node, not
+	// per-round), and the report still renders.
+	if rec.PerNode[1] != rounds {
+		t.Fatalf("PerNode[1] = %d, want %d", rec.PerNode[1], rounds)
+	}
+	line := rec.Timeline(40)
+	if len(line) != 40 {
+		t.Fatalf("timeline width %d, want 40", len(line))
+	}
+	var buf bytes.Buffer
+	if err := rec.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rounds:        100000") {
+		t.Fatalf("report rounds wrong:\n%s", buf.String())
+	}
+}
+
+// TestDownsamplingOddCap exercises the odd-length compaction tail (the
+// half-full bucket) across several doublings.
+func TestDownsamplingOddCap(t *testing.T) {
+	rec := &Recorder{MaxSamples: 7}
+	hook := rec.HookFunc()
+	const rounds = 1000
+	for i := 0; i < rounds; i++ {
+		hook(int64(i), []int32{0}, 1, 0)
+	}
+	if len(rec.Samples) > 7 {
+		t.Fatalf("samples grew to %d, cap 7", len(rec.Samples))
+	}
+	if rec.Rounds() != rounds {
+		t.Fatalf("rounds = %d, want %d", rec.Rounds(), rounds)
+	}
+	tx, del, _ := rec.Totals()
+	if tx != rounds || del != rounds {
+		t.Fatalf("totals (%d,%d) != (%d,%d)", tx, del, rounds, rounds)
+	}
+	// Every bucket's round coverage must sum to the exact round count.
+	var covered int64
+	for i := range rec.Samples {
+		covered += rec.sampleRounds(i)
+	}
+	if covered != rounds {
+		t.Fatalf("bucket coverage %d != rounds %d", covered, rounds)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"radionet/internal/cluster"
 	"radionet/internal/compete"
 	"radionet/internal/graph"
+	"radionet/internal/obs"
 	"radionet/internal/protocol"
 	"radionet/internal/radio"
 	"radionet/internal/rng"
@@ -180,6 +181,21 @@ func NewFaultPlan(n int, seed uint64) *FaultPlan { return radio.NewFaultPlan(n, 
 // internal/trace for a ready-made recorder.
 type RoundHook = radio.RoundHook
 
+// ChainHooks composes round hooks left to right, skipping nils — the way
+// to observe a run with both a trace recorder and a metrics collector.
+var ChainHooks = radio.ChainHooks
+
+// MetricsRegistry is a snapshotable collection of run metrics (atomic
+// counters, gauges and histograms; see internal/obs). Point
+// BroadcastOptions.Metrics or LeaderOptions.Metrics at one to accumulate
+// engine counters — rounds, transmissions, deliveries, collisions —
+// across any number of runs, then read them with Snapshot. Purely
+// observational: enabling it never changes a run's results.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
 // BroadcastOptions configure Broadcast and Compete.
 type BroadcastOptions struct {
 	// Algorithm defaults to CD17.
@@ -192,6 +208,9 @@ type BroadcastOptions struct {
 	Config Config
 	// Hook, if set, observes every round of the run.
 	Hook RoundHook
+	// Metrics, if set, accumulates the run's engine counters into the
+	// registry (composed with Hook; see MetricsRegistry).
+	Metrics *MetricsRegistry
 	// Faults, if set, injects the fault scenario and survivor-scopes
 	// completion (see FaultPlan).
 	Faults *FaultPlan
@@ -248,7 +267,8 @@ func (n *Network) Compete(sources map[int]int64, o BroadcastOptions) (Result, er
 	}
 	r, err := desc.Build(protocol.BuildParams{
 		G: n.G, D: n.Diameter, Seed: o.Seed,
-		Sources: sources, Faults: o.Faults, Tuning: tuning(o.Config), Hook: o.Hook,
+		Sources: sources, Faults: o.Faults, Tuning: tuning(o.Config),
+		Hook: radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
 	})
 	if err != nil {
 		return Result{}, err
@@ -290,6 +310,12 @@ type LeaderOptions struct {
 	MaxRounds int64
 	// Config tunes the CD17 pipeline.
 	Config Config
+	// Hook, if set, observes every round of the run (single-engine
+	// algorithms; composite multi-engine runners may ignore it).
+	Hook RoundHook
+	// Metrics, if set, accumulates the run's engine counters into the
+	// registry (composed with Hook; see MetricsRegistry).
+	Metrics *MetricsRegistry
 	// Faults, if set, injects the fault scenario and survivor-scopes
 	// completion (fault-capable leader algorithms only; the plan should
 	// protect the would-be winner — see DESIGN.md §8).
@@ -328,6 +354,7 @@ func (n *Network) LeaderElection(o LeaderOptions) (LeaderResult, error) {
 	r, err := desc.Build(protocol.BuildParams{
 		G: n.G, D: n.Diameter, Seed: o.Seed,
 		Faults: o.Faults, Tuning: tuning(o.Config),
+		Hook: radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
 	})
 	if err != nil {
 		return LeaderResult{}, err

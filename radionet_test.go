@@ -188,3 +188,47 @@ func TestDeterministicFacadeRuns(t *testing.T) {
 		t.Fatalf("same seed different rounds: %d vs %d", a.Rounds, b.Rounds)
 	}
 }
+
+// TestFacadeMetrics checks the BroadcastOptions/LeaderOptions Metrics
+// seam: attaching a registry collects engine counters without changing
+// the run, and a user Hook composes with the collector instead of being
+// displaced by it.
+func TestFacadeMetrics(t *testing.T) {
+	net := NewNetwork(Grid(6, 6))
+	bare, err := net.Broadcast(0, 7, BroadcastOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	hookRounds := 0
+	res, err := net.Broadcast(0, 7, BroadcastOptions{
+		Seed:    11,
+		Metrics: reg,
+		Hook:    func(int64, []int32, int, int) { hookRounds++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != bare.Rounds || res.Done != bare.Done {
+		t.Fatalf("metrics perturbed the run: %+v vs %+v", res, bare)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["engine.rounds"]; got != int64(res.Rounds) {
+		t.Fatalf("engine.rounds = %d, want %d", got, res.Rounds)
+	}
+	if snap.Counters["engine.transmissions"] <= 0 {
+		t.Fatal("engine.transmissions not collected")
+	}
+	if hookRounds != int(res.Rounds) {
+		t.Fatalf("user hook saw %d rounds, want %d", hookRounds, res.Rounds)
+	}
+
+	lreg := NewMetricsRegistry()
+	lres, err := net.LeaderElection(LeaderOptions{Seed: 5, Metrics: lreg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lreg.Snapshot().Counters["engine.rounds"]; got <= 0 || !lres.Done {
+		t.Fatalf("leader metrics missing: rounds=%d done=%v", got, lres.Done)
+	}
+}
