@@ -144,6 +144,7 @@ func (b *BinarySearchLE) Run() LEResult {
 	}
 	winner := prefix
 	leader := -1
+	//lint:ordered candidate IDs are unique, so at most one node matches winner
 	for v, id := range b.candidates {
 		if id == winner {
 			leader = v

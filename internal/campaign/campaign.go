@@ -269,7 +269,7 @@ func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
 
 	// Telemetry setup. All collectors are nil-safe no-ops when Obs is nil,
 	// and none of them touches the sink stream.
-	start := time.Now()
+	start := time.Now() //lint:wallclock campaign wall time is telemetry, never part of trial output
 	workers := ResolveWorkers(c.Workers, len(plan.Trials))
 	engineHook := obs.NewEngineCollector(c.Obs).Hook()
 	trialObs := obs.NewTrialCollector(c.Obs)
@@ -328,7 +328,7 @@ func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
 		flush()
 	})
 	prog.finish()
-	wall := time.Since(start)
+	wall := time.Since(start) //lint:wallclock throughput gauge only; sink stream is untouched
 	if c.Obs != nil {
 		if secs := wall.Seconds(); secs > 0 {
 			delta := c.Obs.Counter(obs.EngineRounds).Value() - roundsBefore

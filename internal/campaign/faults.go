@@ -57,8 +57,10 @@ func ParseFaultSpec(s string) (FaultSpec, error) {
 		}
 		// Zero is rejected too: a fraction-0 term would silently be a
 		// no-op (and dodge duplicate-term detection) — "none" is the
-		// explicit way to spell an unfaulted cell.
-		if f <= 0 || f >= 1 {
+		// explicit way to spell an unfaulted cell. Spelled as a positive
+		// match so NaN (incomparable, so it dodges every exclusion test)
+		// is rejected rather than accepted.
+		if !(f > 0 && f < 1) {
 			return 0, fmt.Errorf("fraction %v outside (0, 1)", f)
 		}
 		return f, nil
@@ -68,7 +70,8 @@ func ParseFaultSpec(s string) (FaultSpec, error) {
 		if err != nil {
 			return 0, err
 		}
-		if p <= 0 || p > 1 {
+		// Positive match, so NaN is rejected (see frac).
+		if !(p > 0 && p <= 1) {
 			return 0, fmt.Errorf("probability %v outside (0, 1]", p)
 		}
 		return p, nil

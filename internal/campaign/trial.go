@@ -116,9 +116,9 @@ func runTrialScratchHook(cfg *Config, seed uint64, maxRounds int64, scr *Scratch
 		// scratch is empty too.
 		scr = NewScratch(cfg)
 	}
-	start := time.Now()
+	start := time.Now() //lint:wallclock TrialResult.Wall is telemetry, excluded from the sink stream
 	res := runTrial(cfg, seed, maxRounds, scr, hook)
-	res.Wall = time.Since(start)
+	res.Wall = time.Since(start) //lint:wallclock TrialResult.Wall is telemetry, excluded from the sink stream
 	return res
 }
 

@@ -35,6 +35,7 @@ func init() {
 			}
 			var src int
 			var value int64
+			//lint:ordered the map has exactly one entry (checked above)
 			for s, v := range p.Sources {
 				src, value = s, v
 			}

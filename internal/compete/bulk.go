@@ -154,6 +154,8 @@ func newBulkState(c *Compete) *bulkState {
 // ActBulk implements radio.BulkActor: one pass over the flat node state in
 // increasing id order, mirroring cnode.Act exactly (same gates, same RNG
 // draws per node, same messages).
+//
+//radionet:hotpath
 func (s *bulkState) ActBulk(t int64, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
 	cfg := &s.c.cfg
 	lane := t % numLanes
@@ -233,6 +235,8 @@ func (s *bulkState) actBg(tx []int32, msgs []radio.Message) ([]int32, []radio.Me
 // icpPass is the shared per-node loop of one ICP lane round. ci maps each
 // node to its clock in clks; a nil ci means every node shares clks[0]
 // (the background lane).
+//
+//radionet:hotpath
 func (s *bulkState) icpPass(ci []int32, clks []clkInfo, heard []bool, flood []int64, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
 	c := s.c
 	gm := c.globalMax
@@ -275,6 +279,8 @@ func (s *bulkState) icpPass(ci []int32, clks []clkInfo, heard []bool, flood []in
 // actHelper runs one Algorithm-4 helper round for the main or background
 // companion lane (cf. cnode.actHelper; the window/step/phase values are
 // lane-global and hoisted out of the node loop).
+//
+//radionet:hotpath
 func (s *bulkState) actHelper(isMain bool, lt int64, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
 	c := s.c
 	l4 := int64(c.l4)
@@ -323,6 +329,8 @@ func (s *bulkState) actHelper(isMain bool, lt int64, tx []int32, msgs []radio.Me
 
 // RecvBulk implements radio.BulkReceiver: the round's deliveries in one
 // pass, mirroring cnode.Recv per listener.
+//
+//radionet:hotpath
 func (s *bulkState) RecvBulk(t int64, listeners, msgIdx []int32, msgs []radio.Message) {
 	for k, vi := range listeners {
 		s.recvOne(t, int(vi), &msgs[msgIdx[k]])

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"radionet/internal/cluster"
 	"radionet/internal/decay"
@@ -337,7 +338,15 @@ func NewWithPreFaults(pre *Pre, seed uint64, sources map[int]int64, plan *radio.
 		c.globalMax[v] = Uninformed
 		c.rnd[v] = *master.Fork(0x1_0000_0000 + uint64(v))
 	}
-	for s, v := range sources {
+	// Iterate sources in sorted order so the first validation error — and
+	// with it the constructor's behavior — does not depend on map order.
+	srcIDs := make([]int, 0, len(sources))
+	for s := range sources {
+		srcIDs = append(srcIDs, s)
+	}
+	sort.Ints(srcIDs)
+	for _, s := range srcIDs {
+		v := sources[s]
 		if s < 0 || s >= n {
 			return nil, fmt.Errorf("compete: source %d out of range", s)
 		}
@@ -357,8 +366,8 @@ func NewWithPreFaults(pre *Pre, seed uint64, sources map[int]int64, plan *radio.
 		c.counted, target = plan.CountedTarget(g, sources)
 	}
 	c.prog = *radio.NewProgress(target)
-	for s, v := range sources {
-		if v == c.trueMax && (c.counted == nil || c.counted[s]) {
+	for _, s := range srcIDs {
+		if sources[s] == c.trueMax && (c.counted == nil || c.counted[s]) {
 			c.prog.Add(1)
 		}
 	}

@@ -153,6 +153,7 @@ func (le *LeaderElection) Leader() int {
 	if !le.Done() {
 		return -1
 	}
+	//lint:ordered candidate IDs are unique, so at most one node matches TrueMax
 	for v, id := range le.Candidates {
 		if id == le.TrueMax() {
 			return v

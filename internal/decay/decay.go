@@ -213,6 +213,7 @@ func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64
 		}
 	}
 	first := true
+	//lint:ordered max reduction over the values; order cannot change the maximum
 	for _, v := range sources {
 		if first || v > b.tr.trueMax {
 			b.tr.trueMax = v
@@ -231,6 +232,7 @@ func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64
 		target = int64(n) + 1
 	}
 	atMax := int64(0)
+	//lint:ordered keyed writes per source plus commutative counters; the panic fires only on inputs register.go already rejects
 	for s, v := range sources {
 		if v < 0 {
 			panic(fmt.Sprintf("decay: source %d has negative message %d", s, v))
@@ -259,6 +261,8 @@ func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64
 // ActBulk implements radio.BulkActor: one pass over the contiguous node
 // slice, mirroring node.Act exactly (same checks, same RNG draws, same
 // order) without per-node interface dispatch.
+//
+//radionet:hotpath
 func (b *Broadcast) ActBulk(t int64, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
 	L := int64(b.tr.levels)
 	thr := b.tr.thr
@@ -286,6 +290,8 @@ func (b *Broadcast) ActBulk(t int64, tx []int32, msgs []radio.Message) ([]int32,
 // deliveries. The per-listener call is node.Recv itself — static dispatch
 // on the concrete type, so the seam removes the interface dispatches
 // without duplicating the delivery logic.
+//
+//radionet:hotpath
 func (b *Broadcast) RecvBulk(t int64, listeners, msgIdx []int32, msgs []radio.Message) {
 	for k, vi := range listeners {
 		b.nodes[vi].Recv(t, &msgs[msgIdx[k]], false)

@@ -3,6 +3,7 @@ package decay
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"radionet/internal/protocol"
 )
@@ -75,8 +76,15 @@ func BuildRunner(p protocol.BuildParams, cfg Config) (protocol.Runner, error) {
 	if len(p.Sources) == 0 {
 		return nil, errors.New("decay: empty source set")
 	}
-	for s, v := range p.Sources {
-		if v < 0 {
+	// Validate in sorted order so the reported source — and with it the
+	// error string — does not depend on map iteration order.
+	srcIDs := make([]int, 0, len(p.Sources))
+	for s := range p.Sources {
+		srcIDs = append(srcIDs, s)
+	}
+	sort.Ints(srcIDs)
+	for _, s := range srcIDs {
+		if v := p.Sources[s]; v < 0 {
 			return nil, fmt.Errorf("decay: source %d has negative message %d", s, v)
 		}
 	}

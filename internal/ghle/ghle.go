@@ -174,6 +174,7 @@ func (le *LE) Run(budget int64) (int64, bool) {
 		le.tx += bc.Engine.Metrics.Transmissions
 		vals := bc.Values()
 		next := make(map[int]int64, len(cur))
+		//lint:ordered pure keyed filter: next[v] depends only on v and vals[v]
 		for v, id := range cur {
 			// A candidate survives iff it heard nothing above its own ID
 			// this phase. The maximum-ID candidate always survives.

@@ -1,0 +1,325 @@
+// The determinism analyzer: simulation packages must be bit-exact
+// functions of their seeds. See the package comment for the contract it
+// enforces and DESIGN.md §10 for the full policy.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism forbids, in simulation packages (non-test files):
+//
+//   - importing math/rand, math/rand/v2 or crypto/rand (all randomness
+//     flows through internal/rng streams),
+//   - wall-clock reads and timers (time.Now, Since, Until, Sleep, After,
+//     AfterFunc, Tick, NewTimer, NewTicker) — suppressible with
+//     //lint:wallclock for sanctioned telemetry side channels that are
+//     pinned output-neutral,
+//   - environment reads (os.Getenv, os.LookupEnv, os.Environ): behavior
+//     must never branch on ambient configuration,
+//   - ranging over a map unless the loop is provably order-independent
+//     (the collect-then-sort idiom, pure commutative accumulation, or a
+//     keyed insert of a constant) or carries a //lint:ordered annotation
+//     whose reason records the order-independence argument.
+var Determinism = &Analyzer{
+	Name:      "determinism",
+	Doc:       "forbid wall clock, ambient randomness, env reads and map-order dependence in simulation packages",
+	Scope:     SimScope,
+	SkipTests: true,
+	Run:       runDeterminism,
+}
+
+var forbiddenImports = map[string]string{
+	"math/rand":    "use radionet/internal/rng streams seeded by the caller",
+	"math/rand/v2": "use radionet/internal/rng streams seeded by the caller",
+	"crypto/rand":  "simulation randomness must be reproducible; use radionet/internal/rng",
+}
+
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+var forbiddenOSFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, spec := range file.Imports {
+			if why, bad := forbiddenImports[importPathOf(spec)]; bad {
+				// Key "" — a forbidden import has no sanctioned variant, so
+				// no annotation suppresses it.
+				pass.Reportf("", spec.Pos(), "simulation package imports %s: %s", importPathOf(spec), why)
+			}
+		}
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if forbiddenTimeFuncs[fn.Name()] && methodRecvNamed(fn) == nil {
+						pass.Reportf("wallclock", n.Pos(),
+							"time.%s in a simulation package: trial output must be a function of the seed alone", fn.Name())
+					}
+				case "os":
+					if forbiddenOSFuncs[fn.Name()] {
+						pass.Reportf("wallclock", n.Pos(),
+							"os.%s in a simulation package: behavior must not depend on the environment", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, stack)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map unless the loop is
+// provably order-independent or annotated //lint:ordered.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	t := pass.Info.TypeOf(rs.X)
+	if !isMapType(t) {
+		return
+	}
+	if orderIndependentBody(pass, rs) || collectsThenSorts(pass, rs, stack) {
+		return
+	}
+	pass.Reportf("ordered", rs.Pos(),
+		"map iteration order can escape this loop; sort the keys, or annotate //lint:ordered with the order-independence argument")
+}
+
+// collectsThenSorts recognizes the collect-then-sort idiom: every
+// statement of the body only appends to (or keyed-assigns) accumulator
+// variables, and each appended-to accumulator is passed to a sort call
+// (sort.Strings/Ints/Float64s/Slice/SliceStable, slices.Sort/SortFunc/
+// SortStableFunc) by a later statement of the enclosing block.
+func collectsThenSorts(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	// The body may only append to accumulators (plus if/continue guards):
+	// any other effect could leak iteration order even if a sort follows.
+	appended := map[types.Object]bool{}
+	if !collectOnlyBody(pass, rs.Body, appended) || len(appended) == 0 {
+		return false
+	}
+	// Find the enclosing block and scan the statements after the range.
+	var block []ast.Stmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b.List
+			break
+		}
+	}
+	idx := -1
+	for i, st := range block {
+		if st == rs {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	sorted := map[types.Object]bool{}
+	for _, st := range block[idx+1:] {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			continue
+		}
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable",
+			"Sort", "SortFunc", "SortStableFunc", "Stable":
+		default:
+			continue
+		}
+		if id := rootIdent(call.Args[0]); id != nil {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				sorted[obj] = true
+			}
+		}
+	}
+	for obj := range appended {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectOnlyBody reports whether every statement in the block is an
+// append-accumulation (`acc = append(acc, ...)`), a keyed map/slice
+// assignment, an if/continue guard around such statements, or a no-op —
+// recording the accumulator objects that must be sorted afterwards.
+func collectOnlyBody(pass *Pass, block *ast.BlockStmt, appended map[types.Object]bool) bool {
+	var stmtOK func(ast.Stmt) bool
+	stmtOK = func(st ast.Stmt) bool {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 || st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+				return false
+			}
+			lhs, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || fid.Name != "append" || pass.Info.Uses[fid] != types.Universe.Lookup("append") {
+				return false
+			}
+			if len(call.Args) == 0 {
+				return false
+			}
+			dst := rootIdent(call.Args[0])
+			if dst == nil || pass.Info.ObjectOf(dst) != pass.Info.ObjectOf(lhs) {
+				return false
+			}
+			appended[pass.Info.ObjectOf(lhs)] = true
+			return true
+		case *ast.IfStmt:
+			if st.Init != nil || st.Else != nil {
+				return false
+			}
+			for _, s := range st.Body.List {
+				if !stmtOK(s) {
+					return false
+				}
+			}
+			return true
+		case *ast.BranchStmt:
+			return st.Tok == token.CONTINUE
+		case *ast.EmptyStmt:
+			return true
+		}
+		return false
+	}
+	for _, st := range block.List {
+		if !stmtOK(st) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderIndependentBody recognizes loop bodies whose effect provably
+// commutes across iterations: compound accumulation into variables
+// declared outside the loop (x++, x--, x += e, x |= e, ...), keyed
+// insertion of a constant into a map/set, deletion from the ranged map,
+// and blank assignments — optionally wrapped in if/continue guards whose
+// conditions are side-effect-free.
+func orderIndependentBody(pass *Pass, rs *ast.RangeStmt) bool {
+	var stmtOK func(ast.Stmt) bool
+	stmtOK = func(st ast.Stmt) bool {
+		switch st := st.(type) {
+		case *ast.IncDecStmt:
+			_, ok := ast.Unparen(st.X).(*ast.Ident)
+			return ok
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+				token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+				// Compound accumulation commutes when the operand does not
+				// read the accumulator's own order-sensitive state; require
+				// a plain side-effect-free operand.
+				return len(st.Lhs) == 1 && len(st.Rhs) == 1 &&
+					sideEffectFree(pass, st.Rhs[0])
+			case token.ASSIGN:
+				if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+					return false
+				}
+				if isBlank(st.Lhs[0]) {
+					return sideEffectFree(pass, st.Rhs[0])
+				}
+				// m[k] = <constant>: a set/constant-valued insert lands the
+				// same final state in any order, even on key collisions.
+				ix, ok := st.Lhs[0].(*ast.IndexExpr)
+				if !ok || !isMapType(pass.Info.TypeOf(ix.X)) {
+					return false
+				}
+				if !sideEffectFree(pass, ix.Index) || !sideEffectFree(pass, st.Rhs[0]) {
+					return false
+				}
+				tv, ok := pass.Info.Types[st.Rhs[0]]
+				return ok && tv.Value != nil
+			}
+			return false
+		case *ast.ExprStmt:
+			// delete(m, k) commutes (distinct keys per iteration).
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			return ok && pass.Info.Uses[fid] == types.Universe.Lookup("delete")
+		case *ast.IfStmt:
+			if st.Init != nil || st.Else != nil || !sideEffectFree(pass, st.Cond) {
+				return false
+			}
+			for _, s := range st.Body.List {
+				if !stmtOK(s) {
+					return false
+				}
+			}
+			return true
+		case *ast.BranchStmt:
+			return st.Tok == token.CONTINUE
+		case *ast.EmptyStmt:
+			return true
+		}
+		return false
+	}
+	for _, st := range rs.Body.List {
+		if !stmtOK(st) {
+			return false
+		}
+	}
+	return true
+}
+
+// sideEffectFree reports whether evaluating expr cannot observably
+// mutate state or produce output: identifiers, literals, selectors,
+// indexing, arithmetic and len/cap only. Any other call is assumed
+// effectful.
+func sideEffectFree(pass *Pass, expr ast.Expr) bool {
+	ok := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return ok
+		}
+		if fid, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+			if obj := pass.Info.Uses[fid]; obj == types.Universe.Lookup("len") || obj == types.Universe.Lookup("cap") {
+				return true
+			}
+		}
+		// Type conversions are value-only.
+		if tv, found := pass.Info.Types[call.Fun]; found && tv.IsType() {
+			return true
+		}
+		ok = false
+		return false
+	})
+	return ok
+}

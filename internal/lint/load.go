@@ -1,0 +1,166 @@
+// Package loading for the standalone analysis driver: `go list -deps
+// -export -json` supplies every package's metadata plus compiled export
+// data from the build cache, and the standard library's gc importer
+// consumes that export data, so full go/types information is available
+// without any dependency outside the standard library (the x/tools
+// go/packages loader is exactly this shape).
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Result is a loaded package set: the analysis targets plus the import
+// edges of everything beneath them (targets and dependencies alike), for
+// whole-module checks such as registration reachability.
+type Result struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	// Imports maps every loaded import path (targets and dependencies) to
+	// its direct imports.
+	Imports map[string][]string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load lists, parses and type-checks the packages matching patterns,
+// resolving imports through the build cache's export data. dir is the
+// working directory for the go command ("" for the current one);
+// patterns follow go list syntax ("./...", explicit directories, import
+// paths). Packages must compile — the analyzers assume well-typed input,
+// exactly like go vet.
+func Load(dir string, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		return nil, errors.New("lint: no packages to load")
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=Dir,ImportPath,Export,GoFiles,Imports,DepOnly,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	imports := map[string][]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		imports[p.ImportPath] = p.Imports
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+
+	res := &Result{Fset: fset, Imports: imports}
+	for _, t := range targets {
+		pkg, err := checkPackage(fset, &conf, t)
+		if err != nil {
+			return nil, err
+		}
+		res.Pkgs = append(res.Pkgs, pkg)
+	}
+	return res, nil
+}
+
+// checkPackage parses and type-checks one listed package.
+func checkPackage(fset *token.FileSet, conf *types.Config, t listPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	paths := make([]string, 0, len(t.GoFiles))
+	for _, g := range t.GoFiles {
+		path := filepath.Join(t.Dir, g)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	info := NewTypesInfo()
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		GoFiles:    paths,
+		Imports:    t.Imports,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewTypesInfo allocates the full set of type-information maps the
+// analyzers consult (shared with the go vet unitchecker driver).
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

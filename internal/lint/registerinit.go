@@ -1,0 +1,135 @@
+// The registerinit analyzer: protocol registration is an init-time,
+// register.go-only affair, and every registering package is reachable
+// from internal/protocol/all — the single import that decides what a
+// binary can run.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// RegisterInit requires every call of protocol.Register to sit inside a
+// func init() in a file named register.go. The registry seam (PR 5)
+// works because registration is a pure, init-time side effect of
+// importing a package: a Register call anywhere else (a constructor, a
+// conditional, another file) makes the available-algorithm set depend on
+// runtime control flow and breaks the "new algorithm = new register.go +
+// one line in protocol/all" invariant. There is no suppression: a
+// misplaced registration has no sanctioned variant.
+var RegisterInit = &Analyzer{
+	Name:      "registerinit",
+	Doc:       "protocol.Register only from func init() in register.go",
+	SkipTests: true, // tests may register synthetic descriptors
+	Run:       runRegisterInit,
+}
+
+func runRegisterInit(pass *Pass) {
+	for _, file := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(file.FileStart).Filename)
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if !isPkgFunc(fn, protocolPath, "Register") || methodRecvNamed(fn) != nil {
+				return true
+			}
+			if base != "register.go" {
+				pass.Reportf("", call.Pos(),
+					"protocol.Register outside register.go: registration lives in the package's register.go so the catalogue is greppable")
+			}
+			if !inTopLevelInit(stack) {
+				pass.Reportf("", call.Pos(),
+					"protocol.Register outside func init(): registration must be an unconditional import-time side effect")
+			}
+			return true
+		})
+	}
+}
+
+// inTopLevelInit reports whether the ancestor stack is rooted in a
+// receiver-less function declaration named init (calls inside closures
+// declared in init still qualify — they execute at init time only if
+// called there, which the unconditional-call rule below covers: the
+// closure itself must be invoked, and a stored closure is not — so only
+// direct statement nesting is accepted).
+func inTopLevelInit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return false // a closure may escape init; not unconditional
+		case *ast.FuncDecl:
+			return f.Recv == nil && f.Name.Name == "init"
+		}
+	}
+	return false
+}
+
+// CheckRegistryReachability is the whole-module half of registerinit: it
+// verifies that every loaded package containing a protocol.Register call
+// is in the import closure of internal/protocol/all. It needs the full
+// module load (the closure is computed over Result.Imports) and is
+// skipped — returning nil — when protocol/all was not part of the load
+// (partial patterns, go vet unit mode).
+func CheckRegistryReachability(res *Result) []Diagnostic {
+	const allPath = protocolPath + "/all"
+	if _, ok := res.Imports[allPath]; !ok {
+		return nil
+	}
+	// Import closure of protocol/all.
+	reachable := map[string]bool{allPath: true}
+	queue := []string{allPath}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, imp := range res.Imports[p] {
+			if !reachable[imp] {
+				reachable[imp] = true
+				queue = append(queue, imp)
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, pkg := range res.Pkgs {
+		if reachable[pkg.ImportPath] || strings.Contains(pkg.ImportPath, "/testdata/") {
+			continue
+		}
+		pos := firstRegisterCall(pkg)
+		if pos == token.NoPos {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      res.Fset.Position(pos),
+			Analyzer: RegisterInit.Name,
+			Message:  "package registers a protocol but is not reachable from radionet/internal/protocol/all; add its blank import there",
+		})
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// firstRegisterCall returns the position of the package's first
+// protocol.Register call (NoPos if it never registers).
+func firstRegisterCall(pkg *Package) token.Pos {
+	pos := token.NoPos
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if pos != token.NoPos {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(pkg.Info, call); isPkgFunc(fn, protocolPath, "Register") && methodRecvNamed(fn) == nil {
+					pos = call.Pos()
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return pos
+}

@@ -1,0 +1,88 @@
+// Package determ is the determinism-analyzer fixture: every // want
+// comment is a diagnostic the analyzer must produce; everything else must
+// stay silent.
+package determ
+
+import (
+	"math/rand" // want "simulation package imports math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now in a simulation package"
+	return time.Since(start) // want "time.Since in a simulation package"
+}
+
+func sanctionedWall() time.Time {
+	return time.Now() //lint:wallclock fixture: sanctioned telemetry read
+}
+
+func env() string {
+	if v, ok := os.LookupEnv("RADIONET_DEBUG"); ok { // want "os.LookupEnv in a simulation package"
+		return v
+	}
+	return os.Getenv("HOME") // want "os.Getenv in a simulation package"
+}
+
+func leaky(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order can escape"
+		out = append(out, k)
+		println(k)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func counts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func constInsert(m map[string]int, set map[string]bool) {
+	for k := range m {
+		set[k] = true
+	}
+}
+
+func annotated(m map[string]int) int {
+	best := -1
+	//lint:ordered fixture: max reduction; order cannot change the maximum
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// want:+2 "needs a reason"
+//
+//lint:ordered
+func reasonless(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "map iteration order can escape"
+		out = append(out, k)
+	}
+	return out
+}
+
+// want:+2 "unknown suppression key"
+//
+//lint:nonsense because reasons
+func unknownKey() {}

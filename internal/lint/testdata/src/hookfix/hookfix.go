@@ -1,0 +1,56 @@
+// Package hookfix is the hookneutrality-analyzer fixture: functions
+// shaped like radio.RoundHook must observe without steering.
+package hookfix
+
+import (
+	"sync/atomic"
+
+	"radionet/internal/radio"
+	"radionet/internal/rng"
+)
+
+var hits int
+
+// RecordRound is assignable to radio.RoundHook, so the analyzer treats
+// the declaration itself as a hook implementation.
+func RecordRound(round int64, tx []int32, deliveries, collisions int) {
+	hits++ // want "round hook writes hits"
+}
+
+func leakyHook(counter *int) radio.RoundHook {
+	return func(round int64, tx []int32, deliveries, collisions int) {
+		*counter++ // want "round hook writes counter"
+	}
+}
+
+func engineHook(e *radio.Engine) radio.RoundHook {
+	return func(round int64, tx []int32, deliveries, collisions int) {
+		e.Step() // want "calls radio.Engine.Step"
+	}
+}
+
+func rngHook(seed uint64) radio.RoundHook {
+	return func(round int64, tx []int32, deliveries, collisions int) {
+		_ = rng.New(seed) // want "uses internal/rng"
+	}
+}
+
+func cleanHook(c *atomic.Int64) radio.RoundHook {
+	return func(round int64, tx []int32, deliveries, collisions int) {
+		c.Add(int64(deliveries))
+		seen := len(tx) + collisions
+		_ = seen
+	}
+}
+
+func sanctionedHook(total *int) radio.RoundHook {
+	return func(round int64, tx []int32, deliveries, collisions int) {
+		*total += deliveries //lint:hookstate fixture: single-engine accumulator
+	}
+}
+
+// notAHook has four parameters but not RoundHook's shape; its writes are
+// out of scope.
+func notAHook(counter *int, round int64, tx []int32, deliveries int) {
+	*counter++
+}

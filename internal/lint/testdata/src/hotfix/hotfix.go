@@ -1,0 +1,53 @@
+// Package hotfix is the hotpath-analyzer fixture: //radionet:hotpath
+// functions must not allocate or box per call.
+package hotfix
+
+type buffers struct {
+	scratch []int
+}
+
+//radionet:hotpath
+func (b *buffers) hotAlloc(n int) {
+	m := make([]int, n) // want "make in hot path"
+	_ = m
+	p := new(int) // want "new in hot path"
+	_ = p
+	lit := []int{1, 2}   // want "slice literal in hot path"
+	lit = append(lit, n) // want "append to lit"
+	b.scratch = append(b.scratch, n)
+	kv := map[int]int{} // want "map literal in hot path"
+	_ = kv
+	f := func() {} // want "func literal in hot path"
+	f()
+	q := &buffers{} // want "composite literal in hot path escapes"
+	_ = q
+}
+
+func sink(v any)      {}
+func sinks(vs ...any) {}
+
+//radionet:hotpath
+func hotBox(x int) {
+	sink(x)     // want "boxed into interface parameter"
+	_ = any(x)  // want "conversion to interface"
+	sinks(x, x) // want "boxed into interface parameter" "boxed into interface parameter"
+}
+
+//radionet:hotpath
+func hotClean(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+//radionet:hotpath
+func hotSanctioned(n int) []int {
+	//lint:alloc fixture: one-time setup branch
+	return make([]int, n)
+}
+
+// coldAlloc has no hotpath directive; its allocations are out of scope.
+func coldAlloc(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,27 @@
+// Package reginit is the registerinit-analyzer fixture. Its Register
+// calls are only ever type-checked (the harness loads, never runs, the
+// fixture), so they never reach the real registry.
+package reginit
+
+import "radionet/internal/protocol"
+
+func build(p protocol.BuildParams) (protocol.Runner, error) { return nil, nil }
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		Task:  protocol.Broadcast,
+		Name:  "fixture-good",
+		Build: build,
+	})
+}
+
+func init() {
+	deferred := func() {
+		protocol.Register(protocol.Descriptor{ // want "outside func init"
+			Task:  protocol.Broadcast,
+			Name:  "fixture-closure",
+			Build: build,
+		})
+	}
+	deferred()
+}

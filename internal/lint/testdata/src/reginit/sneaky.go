@@ -1,0 +1,12 @@
+package reginit
+
+import "radionet/internal/protocol"
+
+// Sneak registers from the wrong file and outside init: both rules fire.
+func Sneak() {
+	protocol.Register(protocol.Descriptor{ // want "outside register.go" "outside func init"
+		Task:  protocol.Broadcast,
+		Name:  "fixture-sneaky",
+		Build: build,
+	})
+}

@@ -47,6 +47,7 @@ func trialMessages(g *graph.Graph, sources map[int]int64, k int) (src int, msgs 
 		return 0, nil, fmt.Errorf("multicast: needs exactly one source, got %d", len(sources))
 	}
 	var base int64
+	//lint:ordered the map has exactly one entry (checked above)
 	for s, v := range sources {
 		src, base = s, v
 	}

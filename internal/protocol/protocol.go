@@ -263,6 +263,7 @@ func (d *Descriptor) ProtectedNodes(g *graph.Graph, diam int, seed uint64, sourc
 // sets), which is what makes the result order-independent.
 func MaxIDNode(cands map[int]int64) (node int, id int64) {
 	node, id = -1, -1
+	//lint:ordered max reduction over unique candidate IDs; ties are impossible
 	for v, cid := range cands {
 		if cid > id {
 			node, id = v, cid

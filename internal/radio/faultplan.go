@@ -188,18 +188,21 @@ func (p *FaultPlan) SurvivorMask() []bool {
 func (p *FaultPlan) CountedTarget(g *graph.Graph, sources map[int]int64) (counted []bool, target int64) {
 	alive := p.SurvivorMask()
 	max, first := int64(0), true
+	//lint:ordered max reduction over the values; order cannot change the maximum
 	for _, v := range sources {
 		if first || v > max {
 			max, first = v, false
 		}
 	}
 	roots := make([]int, 0, len(sources))
+	//lint:ordered roots form a set; multi-root BFS reachability is root-order independent
 	for s, v := range sources {
 		if alive[s] && v == max {
 			roots = append(roots, s)
 		}
 	}
 	if len(roots) == 0 {
+		//lint:ordered roots form a set; multi-root BFS reachability is root-order independent
 		for s := range sources {
 			if alive[s] {
 				roots = append(roots, s)

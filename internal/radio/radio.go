@@ -341,6 +341,8 @@ func (e *Engine) SetFaults(p *FaultPlan) {
 func (e *Engine) Round() int64 { return e.round }
 
 // Step executes exactly one synchronous round.
+//
+//radionet:hotpath
 func (e *Engine) Step() {
 	t := e.round
 	e.round++
@@ -527,6 +529,8 @@ func (e *Engine) Step() {
 // the air). Jammers are visited in ascending id order and each live jammer
 // draws exactly one coin per round, matching JamNode's wrapper semantics
 // coin for coin.
+//
+//radionet:hotpath
 func (e *Engine) applyJam() {
 	p := e.fault
 	for _, v := range p.jammers {

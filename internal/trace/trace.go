@@ -74,7 +74,7 @@ func (r *Recorder) HookFunc() radio.RoundHook {
 	return func(_ int64, tx []int32, deliveries, collisions int) {
 		r.record(Sample{Transmitters: len(tx), Deliveries: deliveries, Collisions: collisions})
 		for _, v := range tx {
-			r.PerNode[v]++
+			r.PerNode[v]++ //lint:hookstate single-engine recorder; Recorder is documented non-concurrent
 		}
 	}
 }
