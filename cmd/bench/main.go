@@ -36,6 +36,7 @@ func run() error {
 		quick    = flag.Bool("quick", false, "run the seconds-scale CI variant instead of the pinned full scale")
 		out      = flag.String("out", ".", "output directory for BENCH_<grid>.json files")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "intra-round engine shards per trial (0 = auto-split spare cores on large graphs, 1 = off)")
 		validate = flag.Bool("validate", false, "validate the bench files given as arguments and exit")
 		list     = flag.Bool("list", false, "list the pinned grids and exit")
 	)
@@ -43,7 +44,11 @@ func run() error {
 
 	if *list {
 		for _, g := range bench.Grids() {
-			fmt.Printf("%-10s %s\n", g.Name, g.Summary)
+			tag := ""
+			if g.OptIn {
+				tag = " (opt-in: excluded from -grid all)"
+			}
+			fmt.Printf("%-10s %s%s\n", g.Name, g.Summary, tag)
 		}
 		return nil
 	}
@@ -63,7 +68,13 @@ func run() error {
 
 	var grids []bench.Grid
 	if *grid == "all" {
-		grids = bench.Grids()
+		// Opt-in grids (the minutes-scale "huge" stress grid) only run
+		// when named explicitly.
+		for _, g := range bench.Grids() {
+			if !g.OptIn {
+				grids = append(grids, g)
+			}
+		}
 	} else {
 		for _, name := range strings.Split(*grid, ",") {
 			name = strings.TrimSpace(name)
@@ -83,7 +94,7 @@ func run() error {
 	}
 	for _, g := range grids {
 		start := time.Now()
-		f, err := bench.Run(g, *quick, *workers)
+		f, err := bench.Run(g, *quick, *workers, *shards)
 		if err != nil {
 			return err
 		}

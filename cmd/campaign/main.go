@@ -54,6 +54,7 @@ func run() error {
 		seeds    = flag.Int("seeds", 10, "independent trials per configuration")
 		seed     = flag.Uint64("seed", 1, "master seed")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "intra-round engine shards per trial (0 = auto-split spare cores on large graphs, 1 = off; output is byte-identical at any value)")
 		maxR     = flag.Int64("maxrounds", 0, "per-trial round budget (0 = algorithm default)")
 		format   = flag.String("format", "text", "output format: text|csv|jsonl")
 		timings  = flag.Bool("timings", false, "include wall-time aggregates (non-deterministic)")
@@ -158,7 +159,7 @@ func run() error {
 			}
 		}()
 	}
-	c := campaign.Campaign{Matrix: m, Workers: *workers, Timings: *timings}
+	c := campaign.Campaign{Matrix: m, Workers: *workers, Timings: *timings, EngineShards: *shards}
 	// The telemetry surface: all of it observes the run without touching
 	// the sink stream, so stdout stays byte-identical with or without it.
 	var st campaign.RunStats

@@ -62,6 +62,7 @@ func run() error {
 		faults   = flag.String("faults", "", "fault scenario spec, e.g. crash:0.3@50+jam:0.05:p0.2 (fault-capable algorithms only; campaign grammar)")
 		trials   = flag.Int("trials", 1, "independent runs of the scenario (each with a seed derived from -seed)")
 		workers  = flag.Int("workers", 0, "worker goroutines for -trials fan-out (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 1, "intra-round engine shards (>1 splits delivery work across goroutines; output is byte-identical at any value)")
 		manifest = flag.String("manifest", "", "write a machine-readable run manifest (JSON: scenario, outcome, metric snapshot) to this file")
 		debug    = flag.String("debug-addr", "", "serve /debug/vars (live metrics) and /debug/pprof on this address for the run, e.g. :6060")
 		list     = flag.Bool("list", false, "print the registered algorithm table (task, name, aliases, capabilities) and exit")
@@ -143,17 +144,18 @@ func run() error {
 			if *doTrace {
 				return fmt.Errorf("-trace requires a single run (drop -trials)")
 			}
-			return runTrials(net, desc, *task, *algo, faultSpec, *seed, *value, *source, *max, *trials, *workers, reg, tc)
+			return runTrials(net, desc, *task, *algo, faultSpec, *seed, *value, *source, *max, *trials, *workers, *shards, reg, tc)
 		}
 		switch *task {
 		case "broadcast":
 			var rec *trace.Recorder
 			opts := radionet.BroadcastOptions{
-				Algorithm: radionet.Algorithm(*algo),
-				Seed:      *seed,
-				MaxRounds: *max,
-				Metrics:   reg,
-				Faults:    faultPlan(net, desc, faultSpec, *seed, *source, *value),
+				Algorithm:    radionet.Algorithm(*algo),
+				Seed:         *seed,
+				MaxRounds:    *max,
+				Metrics:      reg,
+				Faults:       faultPlan(net, desc, faultSpec, *seed, *source, *value),
+				EngineShards: *shards,
 			}
 			if *doTrace {
 				rec = &trace.Recorder{}
@@ -180,11 +182,12 @@ func run() error {
 			}
 		case "leader":
 			opts := radionet.LeaderOptions{
-				Algorithm: radionet.LeaderAlgorithm(*algo),
-				Seed:      *seed,
-				MaxRounds: *max,
-				Metrics:   reg,
-				Faults:    faultPlan(net, desc, faultSpec, *seed, *source, *value),
+				Algorithm:    radionet.LeaderAlgorithm(*algo),
+				Seed:         *seed,
+				MaxRounds:    *max,
+				Metrics:      reg,
+				Faults:       faultPlan(net, desc, faultSpec, *seed, *source, *value),
+				EngineShards: *shards,
 			}
 			res, err := net.LeaderElection(opts)
 			if err != nil {
@@ -202,7 +205,7 @@ func run() error {
 			}
 		default:
 			// Any other registered task runs straight off its descriptor.
-			res, err := registryRun(net, desc, faultSpec, *seed, *value, *source, *max, reg)
+			res, err := registryRun(net, desc, faultSpec, *seed, *value, *source, *max, *shards, reg)
 			if err != nil {
 				return err
 			}
@@ -285,7 +288,7 @@ func trialSources(desc *protocol.Descriptor, source int, value int64) map[int]in
 // sugar (multicast, partition, and whatever gets registered next). Done
 // is gated on the descriptor's postcondition check exactly as the
 // campaign and the facade gate it — the CLIs must agree on one seed.
-func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, reg *obs.Registry) (protocol.Result, error) {
+func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, shards int, reg *obs.Registry) (protocol.Result, error) {
 	r, err := desc.Build(protocol.BuildParams{
 		G:       net.G,
 		D:       net.Diameter,
@@ -293,6 +296,7 @@ func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.F
 		Sources: trialSources(desc, source, value),
 		Faults:  faultPlan(net, desc, fs, seed, source, value),
 		Hook:    obs.NewEngineCollector(reg).Hook(),
+		Shards:  shards,
 	})
 	if err != nil {
 		return protocol.Result{}, err
@@ -308,7 +312,7 @@ func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.F
 // scenario across the campaign worker pool, each with its own RNG stream
 // derived from the master seed, reduced to aggregate round statistics.
 // Output is identical for every -workers value.
-func runTrials(net *radionet.Network, desc *protocol.Descriptor, task, algo string, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, trials, workers int, reg *obs.Registry, tc *obs.TrialCollector) error {
+func runTrials(net *radionet.Network, desc *protocol.Descriptor, task, algo string, fs campaign.FaultSpec, seed uint64, value int64, source int, max int64, trials, workers, shards int, reg *obs.Registry, tc *obs.TrialCollector) error {
 	seeds := rng.New(seed).Fork(0x7215)
 	rounds := make([]float64, trials)
 	failed := make([]bool, trials)
@@ -323,25 +327,27 @@ func runTrials(net *radionet.Network, desc *protocol.Descriptor, task, algo stri
 		switch task {
 		case "broadcast":
 			res, err = net.Broadcast(source, value, radionet.BroadcastOptions{
-				Algorithm: radionet.Algorithm(algo),
-				Seed:      trialSeed,
-				MaxRounds: max,
-				Metrics:   reg,
-				Faults:    faultPlan(net, desc, fs, trialSeed, source, value),
+				Algorithm:    radionet.Algorithm(algo),
+				Seed:         trialSeed,
+				MaxRounds:    max,
+				Metrics:      reg,
+				Faults:       faultPlan(net, desc, fs, trialSeed, source, value),
+				EngineShards: shards,
 			})
 		case "leader":
 			var lr radionet.LeaderResult
 			lr, err = net.LeaderElection(radionet.LeaderOptions{
-				Algorithm: radionet.LeaderAlgorithm(algo),
-				Seed:      trialSeed,
-				MaxRounds: max,
-				Metrics:   reg,
-				Faults:    faultPlan(net, desc, fs, trialSeed, source, value),
+				Algorithm:    radionet.LeaderAlgorithm(algo),
+				Seed:         trialSeed,
+				MaxRounds:    max,
+				Metrics:      reg,
+				Faults:       faultPlan(net, desc, fs, trialSeed, source, value),
+				EngineShards: shards,
 			})
 			res = lr.Result
 		default:
 			var pres protocol.Result
-			pres, err = registryRun(net, desc, fs, trialSeed, value, source, max, reg)
+			pres, err = registryRun(net, desc, fs, trialSeed, value, source, max, shards, reg)
 			res = radionet.Result{Rounds: pres.Rounds, Done: pres.Done}
 		}
 		if err != nil {

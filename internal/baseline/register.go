@@ -69,7 +69,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			m.bc.Engine.Hook = p.Hook
+			p.ApplyEngine(m.bc.Engine)
 			return &maxBroadcastRunner{m: m}, nil
 		},
 	})

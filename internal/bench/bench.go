@@ -20,8 +20,13 @@ import (
 	"radionet/internal/obs"
 )
 
-// SchemaVersion is bumped on any incompatible File change.
-const SchemaVersion = 1
+// SchemaVersion is bumped on any incompatible File change. Version 2
+// added the Shards field (intra-round engine shard count); version 1
+// files — without it — still parse (see Parse).
+const SchemaVersion = 2
+
+// schemaV1 is the oldest version Parse still accepts.
+const schemaV1 = 1
 
 // File is one emitted BENCH_<grid>.json: the grid identity, the execution
 // environment and one record per grid configuration. Entries reuse the
@@ -35,6 +40,10 @@ type File struct {
 	Go         string `json:"go"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Workers    int    `json:"workers"`
+	// Shards is the largest intra-round engine shard count any
+	// configuration ran with (schema 2+; 0 on parsed version-1 files, 1
+	// when sharding was off).
+	Shards int `json:"shards,omitempty"`
 	// ConfigHash fingerprints the expanded matrix (campaign.Matrix.Hash),
 	// so two files are comparable only when their hashes agree.
 	ConfigHash string `json:"config_hash"`
@@ -52,6 +61,10 @@ type File struct {
 type Grid struct {
 	Name    string
 	Summary string
+	// OptIn excludes the grid from "run everything" sweeps (cmd/bench
+	// -grid all): it only runs when named explicitly. Minutes-scale grids
+	// like "huge" use it so the default regeneration loop stays fast.
+	OptIn bool
 	// matrix builds the grid's campaign matrix; quick selects the
 	// seconds-scale CI variant instead of the pinned full scale.
 	matrix func(quick bool) campaign.Matrix
@@ -102,6 +115,26 @@ var grids = map[string]Grid{
 			return m
 		},
 	},
+	"huge": {
+		Name:    "huge",
+		Summary: "opt-in n=1e6 Decay-family stress grid (bgi, truncated-decay): the sharded delivery-kernel scale target",
+		OptIn:   true,
+		matrix: func(quick bool) campaign.Matrix {
+			m := campaign.Matrix{
+				Topologies: []string{"randtree:1000000"},
+				Algorithms: []campaign.AlgoSpec{
+					{Task: campaign.Broadcast, Algo: "bgi"},
+					{Task: campaign.Broadcast, Algo: "truncated-decay"},
+				},
+				Seeds:      1,
+				MasterSeed: 1,
+			}
+			if quick {
+				m.Topologies = []string{"randtree:200000"}
+			}
+			return m
+		},
+	},
 }
 
 // Grids lists the pinned grids in name order.
@@ -125,12 +158,14 @@ func LookupGrid(name string) (Grid, bool) {
 }
 
 // Run executes one grid and assembles its File. workers 0 means
-// GOMAXPROCS; the run itself is silent (no sinks) — the measurements come
-// from the campaign's telemetry surface.
-func Run(g Grid, quick bool, workers int) (*File, error) {
+// GOMAXPROCS; shards is the campaign's EngineShards knob (0 = auto-split
+// spare cores on large graphs, 1 = off — sharding never changes the
+// measured output, only the wall times). The run itself is silent (no
+// sinks) — the measurements come from the campaign's telemetry surface.
+func Run(g Grid, quick bool, workers, shards int) (*File, error) {
 	m := g.Matrix(quick)
 	var st campaign.RunStats
-	c := campaign.Campaign{Matrix: m, Workers: workers, Obs: obs.NewRegistry(), Stats: &st}
+	c := campaign.Campaign{Matrix: m, Workers: workers, EngineShards: shards, Obs: obs.NewRegistry(), Stats: &st}
 	if _, err := c.Run(); err != nil {
 		return nil, fmt.Errorf("bench: grid %s: %w", g.Name, err)
 	}
@@ -153,6 +188,7 @@ func FromStats(grid string, m campaign.Matrix, st *campaign.RunStats, reg *obs.R
 	}
 	if st != nil {
 		f.Workers = st.Workers
+		f.Shards = st.Shards
 		f.WallMS = float64(st.Wall.Nanoseconds()) / 1e6
 		for _, cs := range st.Configs {
 			rec := obs.ConfigRecord{
@@ -176,12 +212,61 @@ func FromStats(grid string, m campaign.Matrix, st *campaign.RunStats, reg *obs.R
 	return f
 }
 
+// fileV1 is the schema-1 wire shape: File without the Shards field. A
+// version-1 file carrying "shards" is schema drift and fails strict
+// parsing, exactly like any other unknown field.
+type fileV1 struct {
+	SchemaVersion int                `json:"schema_version"`
+	Grid          string             `json:"grid"`
+	Generated     string             `json:"generated,omitempty"`
+	Go            string             `json:"go"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Workers       int                `json:"workers"`
+	ConfigHash    string             `json:"config_hash"`
+	Quick         bool               `json:"quick,omitempty"`
+	WallMS        float64            `json:"wall_ms"`
+	RoundsPerSec  float64            `json:"rounds_per_sec"`
+	Entries       []obs.ConfigRecord `json:"entries"`
+}
+
 // Parse decodes and validates a bench file, rejecting unknown fields so
 // schema drift fails loudly in CI rather than silently dropping data.
+// Both supported schema versions parse strictly against their own wire
+// shape: a version-1 file must not carry version-2 fields, and vice
+// versa nothing unknown; parsed version-1 files report Shards 0.
 func Parse(b []byte) (*File, error) {
-	var f File
-	if err := strictUnmarshal(b, &f); err != nil {
+	var ver struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(b, &ver); err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var f File
+	switch ver.SchemaVersion {
+	case schemaV1:
+		var v1 fileV1
+		if err := strictUnmarshal(b, &v1); err != nil {
+			return nil, fmt.Errorf("bench: schema %d: %w", schemaV1, err)
+		}
+		f = File{
+			SchemaVersion: v1.SchemaVersion,
+			Grid:          v1.Grid,
+			Generated:     v1.Generated,
+			Go:            v1.Go,
+			GOMAXPROCS:    v1.GOMAXPROCS,
+			Workers:       v1.Workers,
+			ConfigHash:    v1.ConfigHash,
+			Quick:         v1.Quick,
+			WallMS:        v1.WallMS,
+			RoundsPerSec:  v1.RoundsPerSec,
+			Entries:       v1.Entries,
+		}
+	default:
+		// Validate reports unsupported versions; current-version files
+		// parse against the full shape.
+		if err := strictUnmarshal(b, &f); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
 	}
 	if err := f.Validate(); err != nil {
 		return nil, err
@@ -205,8 +290,14 @@ func ParseFile(path string) (*File, error) {
 // Validate checks the file's internal consistency: the supported schema
 // version and sane per-entry invariants.
 func (f *File) Validate() error {
-	if f.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("bench: schema_version %d, supported %d", f.SchemaVersion, SchemaVersion)
+	if f.SchemaVersion < schemaV1 || f.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("bench: schema_version %d, supported %d-%d", f.SchemaVersion, schemaV1, SchemaVersion)
+	}
+	if f.SchemaVersion < SchemaVersion && f.Shards != 0 {
+		return fmt.Errorf("bench: schema_version %d carries shards %d (a version-%d field)", f.SchemaVersion, f.Shards, SchemaVersion)
+	}
+	if f.Shards < 0 {
+		return fmt.Errorf("bench: negative shards %d", f.Shards)
 	}
 	if f.Grid == "" {
 		return fmt.Errorf("bench: missing grid name")

@@ -34,7 +34,7 @@ func TestGridsListedAndResolvable(t *testing.T) {
 // committed BENCH_*.json files.
 func TestRunQuickRoundTrip(t *testing.T) {
 	g, _ := LookupGrid("decay")
-	f, err := Run(g, true, 0)
+	f, err := Run(g, true, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,5 +95,63 @@ func TestParseRejectsBadFiles(t *testing.T) {
 	// Unknown fields are schema drift, not data.
 	if _, err := Parse([]byte(`{"schema_version":1,"grid":"g","bogus":true,"entries":[]}`)); err == nil || !strings.Contains(err.Error(), "bogus") {
 		t.Errorf("unknown field accepted: %v", err)
+	}
+}
+
+// TestParseSchemaVersions pins the two supported wire shapes: version-1
+// files (no shards field) parse with Shards 0, version-2 files carry it,
+// and a version-1 file smuggling the version-2 field fails strict parsing.
+func TestParseSchemaVersions(t *testing.T) {
+	entry := `{"name":"randtree:2000/broadcast:bgi","n":2000,"d":20,"trials":2,"rounds_mean":100,"wall_ms_total":1,"wall_ms_mean":0.5}`
+	v1 := `{"schema_version":1,"grid":"decay","go":"go1.x","gomaxprocs":1,"workers":1,"config_hash":"h","wall_ms":1,"rounds_per_sec":10,"entries":[` + entry + `]}`
+	f, err := Parse([]byte(v1))
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	if f.SchemaVersion != 1 || f.Shards != 0 {
+		t.Fatalf("v1 parse: schema %d shards %d", f.SchemaVersion, f.Shards)
+	}
+	v2 := `{"schema_version":2,"grid":"decay","go":"go1.x","gomaxprocs":1,"workers":1,"shards":4,"config_hash":"h","wall_ms":1,"rounds_per_sec":10,"entries":[` + entry + `]}`
+	f, err = Parse([]byte(v2))
+	if err != nil {
+		t.Fatalf("v2 file rejected: %v", err)
+	}
+	if f.SchemaVersion != 2 || f.Shards != 4 {
+		t.Fatalf("v2 parse: schema %d shards %d", f.SchemaVersion, f.Shards)
+	}
+	v1drift := `{"schema_version":1,"grid":"decay","go":"go1.x","gomaxprocs":1,"workers":1,"shards":4,"config_hash":"h","wall_ms":1,"rounds_per_sec":10,"entries":[` + entry + `]}`
+	if _, err := Parse([]byte(v1drift)); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("v1 file with v2 field accepted: %v", err)
+	}
+	if _, err := Parse([]byte(`{"schema_version":3,"grid":"g","entries":[` + entry + `]}`)); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+}
+
+// TestHugeGridOptIn pins the opt-in contract the cmd/bench "all" sweep
+// relies on: the huge grid exists, is marked OptIn, and targets n=1e6.
+func TestHugeGridOptIn(t *testing.T) {
+	g, ok := LookupGrid("huge")
+	if !ok {
+		t.Fatal("huge grid not registered")
+	}
+	if !g.OptIn {
+		t.Fatal("huge grid must be opt-in")
+	}
+	plan, err := g.Matrix(false).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Configs {
+		c := &plan.Configs[i]
+		if c.G.N() != 1000000 {
+			t.Fatalf("huge grid config %s has n=%d, want 1e6", c.Name(), c.G.N())
+		}
+	}
+	for _, other := range []string{"decay", "compete"} {
+		g, _ := LookupGrid(other)
+		if g.OptIn {
+			t.Fatalf("grid %s must not be opt-in", other)
+		}
 	}
 }

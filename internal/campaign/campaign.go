@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"radionet/internal/graph"
 	"radionet/internal/obs"
 	"radionet/internal/protocol"
+	"radionet/internal/radio"
 	"radionet/internal/rng"
 )
 
@@ -224,6 +226,14 @@ type Campaign struct {
 	Matrix
 	// Workers is the worker-pool size (0 = GOMAXPROCS).
 	Workers int
+	// EngineShards controls intra-round sharding inside each trial's
+	// engine (see radio.Engine.SetShards — output is bit-exact at any
+	// value, so this only moves wall time). 0 auto-splits the cores left
+	// over by trial-level parallelism: GOMAXPROCS/workers shards per
+	// trial, and only on configurations large enough to profit
+	// (n >= shardMinNodes). 1 disables sharding; k > 1 forces exactly k
+	// shards on every configuration.
+	EngineShards int
 	// Timings includes wall-time aggregates in the output. They are
 	// non-deterministic, so sinks omit them unless asked.
 	Timings bool
@@ -243,6 +253,27 @@ type Campaign struct {
 	// Stats, when non-nil, is filled with the run's execution record
 	// (whole-run and per-config wall times) for manifests and benchmarks.
 	Stats *RunStats
+}
+
+// shardMinNodes gates auto-sharding: below this node count the per-wave
+// goroutine spawns and the shard arenas cost more than the split saves,
+// and trial-level parallelism already covers small configurations.
+const shardMinNodes = 1 << 15
+
+// resolveShards returns the effective intra-round shard count for one
+// n-node configuration under the given worker count (see EngineShards).
+func (c *Campaign) resolveShards(n, workers int) int {
+	if c.EngineShards >= 1 {
+		return c.EngineShards
+	}
+	if n < shardMinNodes || workers <= 0 {
+		return 1
+	}
+	k := runtime.GOMAXPROCS(0) / workers
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // Run expands the matrix, executes every trial across the worker pool, and
@@ -271,6 +302,22 @@ func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
 	// and none of them touches the sink stream.
 	start := time.Now() //lint:wallclock campaign wall time is telemetry, never part of trial output
 	workers := ResolveWorkers(c.Workers, len(plan.Trials))
+	// Intra-round sharding, resolved per configuration (auto mode skips
+	// small graphs). Output is bit-exact at any count — the knob only
+	// moves wall time, so it shares the telemetry section's neutrality
+	// contract.
+	cfgShards := make([]int, len(plan.Configs))
+	shardsUsed := 1
+	for ci := range plan.Configs {
+		cfgShards[ci] = c.resolveShards(plan.Configs[ci].G.N(), workers)
+		if cfgShards[ci] > shardsUsed {
+			shardsUsed = cfgShards[ci]
+		}
+	}
+	var shardHook radio.ShardHook
+	if shardsUsed > 1 {
+		shardHook = obs.NewShardCollector(c.Obs, shardsUsed).Hook()
+	}
 	engineHook := obs.NewEngineCollector(c.Obs).Hook()
 	trialObs := obs.NewTrialCollector(c.Obs)
 	roundsBefore := int64(0)
@@ -313,7 +360,8 @@ func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
 	}
 	ForEachWorker(c.Workers, len(plan.Trials), func(w, i int) {
 		tr := plan.Trials[i]
-		res := runTrialScratchHook(&plan.Configs[tr.Cfg], tr.Seed, plan.Max, scratches[tr.Cfg], engineHook)
+		res := runTrialScratchHook(&plan.Configs[tr.Cfg], tr.Seed, plan.Max, scratches[tr.Cfg],
+			trialOpts{hook: engineHook, shards: cfgShards[tr.Cfg], shardHook: shardHook})
 		results[i] = res
 		trialObs.Record(res.Rounds, res.Wall, res.Done, res.Budget)
 		if workerBusy != nil {
@@ -336,7 +384,7 @@ func (c *Campaign) Run(sinks ...Sink) ([]ConfigSummary, error) {
 		}
 	}
 	if c.Stats != nil {
-		*c.Stats = RunStats{Wall: wall, Workers: workers, Configs: make([]ConfigStats, len(plan.Configs))}
+		*c.Stats = RunStats{Wall: wall, Workers: workers, Shards: shardsUsed, Configs: make([]ConfigStats, len(plan.Configs))}
 		for ci := range plan.Configs {
 			cfg := &plan.Configs[ci]
 			cs := &c.Stats.Configs[ci]

@@ -35,6 +35,10 @@ type RunStats struct {
 	Wall time.Duration
 	// Workers is the resolved worker-pool size the run executed with.
 	Workers int
+	// Shards is the largest intra-round shard count any configuration ran
+	// with (1 when sharding was off or no configuration qualified for the
+	// auto split — see Campaign.EngineShards).
+	Shards int
 	// Configs holds per-configuration stats, in configuration order.
 	Configs []ConfigStats
 }

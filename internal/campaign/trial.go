@@ -102,14 +102,26 @@ func RunTrial(cfg *Config, seed uint64, maxRounds int64) TrialResult {
 // precomputation across a configuration's seed axis. A nil scr builds a
 // fresh scratch for this trial alone.
 func RunTrialScratch(cfg *Config, seed uint64, maxRounds int64, scr *Scratch) TrialResult {
-	return runTrialScratchHook(cfg, seed, maxRounds, scr, nil)
+	return runTrialScratchHook(cfg, seed, maxRounds, scr, trialOpts{})
+}
+
+// trialOpts carries the engine-level execution knobs threaded from the
+// campaign into each trial's BuildParams: the shared obs round hook, the
+// intra-round shard count, and the per-shard busy-time hook. All of them
+// are output-neutral — hooks observe, and sharding is bit-exact at any
+// count — so equal (cfg, seed) trials produce identical results under any
+// opts.
+type trialOpts struct {
+	hook      radio.RoundHook
+	shards    int
+	shardHook radio.ShardHook
 }
 
 // runTrialScratchHook is the full trial entry point: RunTrialScratch plus
-// an optional engine round hook (the campaign's shared obs collector).
-// The hook observes rounds; it never changes them — telemetry stays
-// strictly output-neutral.
-func runTrialScratchHook(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, hook radio.RoundHook) TrialResult {
+// the campaign's execution knobs (see trialOpts). The hooks observe
+// rounds; they never change them — telemetry stays strictly
+// output-neutral.
+func runTrialScratchHook(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, opts trialOpts) TrialResult {
 	if scr == nil || scr.val == nil {
 		// Also rebuilds a zero-valued Scratch handed in for a config whose
 		// descriptor expects one; for scratch-free configs the rebuilt
@@ -117,7 +129,7 @@ func runTrialScratchHook(cfg *Config, seed uint64, maxRounds int64, scr *Scratch
 		scr = NewScratch(cfg)
 	}
 	start := time.Now() //lint:wallclock TrialResult.Wall is telemetry, excluded from the sink stream
-	res := runTrial(cfg, seed, maxRounds, scr, hook)
+	res := runTrial(cfg, seed, maxRounds, scr, opts)
 	res.Wall = time.Since(start) //lint:wallclock TrialResult.Wall is telemetry, excluded from the sink stream
 	return res
 }
@@ -153,7 +165,7 @@ func faultResult(res TrialResult, cfg *Config, plan *radio.FaultPlan, reached, t
 // realize the fault plan, build the runner, run it, verify. Every
 // algorithm-specific decision — constructors, budget defaults, metric
 // extraction — lives behind the registry.
-func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, hook radio.RoundHook) TrialResult {
+func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, opts trialOpts) TrialResult {
 	desc, err := lookup(cfg.Spec)
 	if err != nil {
 		return TrialResult{Err: err.Error(), Reason: "error"}
@@ -167,13 +179,15 @@ func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, hook radi
 		plan = trialPlan(cfg, desc, seed, sources)
 	}
 	r, err := desc.Build(protocol.BuildParams{
-		G:       cfg.G,
-		D:       cfg.D,
-		Seed:    seed,
-		Sources: sources,
-		Faults:  plan,
-		Scratch: scr.val,
-		Hook:    hook,
+		G:         cfg.G,
+		D:         cfg.D,
+		Seed:      seed,
+		Sources:   sources,
+		Faults:    plan,
+		Scratch:   scr.val,
+		Hook:      opts.hook,
+		Shards:    opts.shards,
+		ShardHook: opts.shardHook,
 	})
 	if err != nil {
 		return TrialResult{Err: err.Error(), Reason: "error"}

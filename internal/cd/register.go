@@ -43,7 +43,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			b.Engine.Hook = p.Hook
+			p.ApplyEngine(b.Engine)
 			return beepRunner{b: b, d: p.D}, nil
 		},
 	})

@@ -42,7 +42,7 @@ func init() {
 				cfg.Beta = math.Pow(float64(d), -0.5)
 			}
 			dp := NewDistributed(p.G, cfg, p.Seed)
-			dp.Engine.Hook = p.Hook
+			p.ApplyEngine(dp.Engine)
 			return partitionRunner{d: dp}, nil
 		},
 	})

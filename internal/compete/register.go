@@ -173,7 +173,7 @@ func buildBroadcast(p protocol.BuildParams, hw16 bool) (protocol.Runner, error) 
 	if err != nil {
 		return nil, err
 	}
-	c.Engine.Hook = p.Hook
+	p.ApplyEngine(c.Engine)
 	return competeRunner{c: c}, nil
 }
 
@@ -209,6 +209,6 @@ func buildLeader(p protocol.BuildParams) (protocol.Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	le.Engine.Hook = p.Hook
+	p.ApplyEngine(le.Engine)
 	return leaderRunner{le: le}, nil
 }

@@ -264,10 +264,22 @@ func NewBroadcast(g *graph.Graph, cfg Config, seed uint64, sources map[int]int64
 //
 //radionet:hotpath
 func (b *Broadcast) ActBulk(t int64, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
+	return b.ActBulkRange(t, 0, int32(len(b.nodes)), tx, msgs)
+}
+
+// ActBulkRange implements radio.BulkRangeActor, restricting the ActBulk
+// pass to ids in [lo, hi) so the engine can shard the Act wave. Safe to
+// run concurrently on disjoint ranges: every mutation (phase resync, the
+// transmission coin) lives in the node's own struct, and the tracker
+// fields read here (isInformed, levels, thr) are only written during Recv
+// replay, never inside Act.
+//
+//radionet:hotpath
+func (b *Broadcast) ActBulkRange(t int64, lo, hi int32, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
 	L := int64(b.tr.levels)
 	thr := b.tr.thr
-	for i, inf := range b.tr.isInformed {
-		if !inf {
+	for i := lo; i < hi; i++ {
+		if !b.tr.isInformed[i] {
 			continue
 		}
 		nd := &b.nodes[i]
@@ -279,7 +291,7 @@ func (b *Broadcast) ActBulk(t int64, tx []int32, msgs []radio.Message) ([]int32,
 		}
 		step := int(t - nd.phaseStart)
 		if nd.rnd.Uint64()>>11 < thr[step] { // == rnd.Bernoulli(probs[step])
-			tx = append(tx, int32(i))
+			tx = append(tx, i)
 			msgs = append(msgs, radio.Message{Kind: KindBroadcast, A: nd.val})
 		}
 	}
@@ -391,3 +403,8 @@ type Participant struct {
 func (p *Participant) Transmitp(s int) bool {
 	return p.Rnd.Bernoulli(Prob(s % p.Levels))
 }
+
+var (
+	_ radio.BulkRangeActor = (*Broadcast)(nil)
+	_ radio.BulkReceiver   = (*Broadcast)(nil)
+)

@@ -90,6 +90,6 @@ func BuildRunner(p protocol.BuildParams, cfg Config) (protocol.Runner, error) {
 	}
 	cfg.Faults = p.Faults
 	b := NewBroadcast(p.G, cfg, p.Seed, p.Sources)
-	b.Engine.Hook = p.Hook
+	p.ApplyEngine(b.Engine)
 	return Runner{B: b, Default: WhpBudget(p.G.N(), p.D)}, nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 )
 
 // Graph is an immutable undirected graph in compressed sparse row form.
@@ -22,6 +23,11 @@ type Graph struct {
 	name string
 	off  []int32 // len n+1; adjacency of v is adj[off[v]:off[v+1]]
 	adj  []int32
+
+	// Lazily built dense-adjacency layer (see bitadj.go). Graphs are shared
+	// across concurrently running trials, so the build is Once-guarded.
+	denseOnce sync.Once
+	dense     *AdjBits
 }
 
 // N returns the number of nodes.

@@ -51,3 +51,51 @@ func hotSanctioned(n int) []int {
 func coldAlloc(n int) []int {
 	return make([]int, n)
 }
+
+// The delivery-kernel idioms below are the patterns the sharded engine
+// relies on staying clean: word loops over preallocated bitsets, appends
+// to struct-field scratch, and goroutine spawns via method values (a
+// FuncLit spawn would allocate per round and is flagged).
+
+type kernelShard struct {
+	onair  []uint64
+	dirty  []uint64
+	rcv    []int32
+	busy   int64
+	notify func()
+}
+
+//radionet:hotpath
+func (st *kernelShard) hotWordLoop(tx []int32) {
+	for _, u := range tx {
+		w := uint32(u) >> 6
+		st.onair[w] |= 1 << (uint32(u) & 63)
+		st.dirty[w>>6] |= 1 << (w & 63)
+	}
+	for w, bits := range st.onair {
+		for bits != 0 {
+			st.rcv = append(st.rcv, int32(w<<6)) // struct-field scratch: fine
+			bits &= bits - 1
+		}
+	}
+}
+
+func (st *kernelShard) goWork() { st.busy++ }
+
+//radionet:hotpath
+func (st *kernelShard) hotSpawn() {
+	go st.goWork() // method value: no per-round closure
+	go func() {    // want "func literal in hot path"
+		st.busy++
+	}()
+}
+
+//radionet:hotpath
+func (st *kernelShard) hotPanic(v int32) int32 {
+	for w := range st.onair {
+		if st.onair[w] != 0 {
+			return int32(w)
+		}
+	}
+	panic("kernel: unreachable") //lint:alloc fixture: invariant-violation panic off the hot path
+}

@@ -107,7 +107,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			pl.Engine.Hook = p.Hook
+			p.ApplyEngine(pl.Engine)
 			l := int64(decay.Levels(p.G.N()))
 			def := 20 * (int64(p.D) + int64(len(msgs))*l) * l
 			return pipelinedRunner{p: pl, def: def}, nil

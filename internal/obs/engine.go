@@ -5,6 +5,7 @@
 package obs
 
 import (
+	"fmt"
 	"time"
 
 	"radionet/internal/radio"
@@ -93,6 +94,48 @@ func (c *EngineCollector) Hook() radio.RoundHook {
 		c.tx.Add(int64(len(tx)))
 		c.deliveries.Add(int64(deliveries))
 		c.collisions.Add(int64(collisions))
+	}
+}
+
+// EngineShardBusy returns the conventional counter name for one shard's
+// accumulated busy time: "engine.shard.NN.busy_us".
+func EngineShardBusy(shard int) string {
+	return fmt.Sprintf("engine.shard.%02d.busy_us", shard)
+}
+
+// ShardCollector accumulates per-shard busy time from the engine's
+// ShardHook when intra-round sharding is enabled. Like EngineCollector it
+// may be shared by any number of concurrently running engines (atomic
+// adds); shards beyond the pre-resolved count fold into the last counter
+// rather than dropping on the floor.
+type ShardCollector struct {
+	busy []*Counter
+}
+
+// NewShardCollector resolves busy-time counters for shards 0..shards-1 in
+// reg. A nil registry (or shards < 1) returns a nil collector, whose Hook
+// is nil — safe to install.
+func NewShardCollector(reg *Registry, shards int) *ShardCollector {
+	if reg == nil || shards < 1 {
+		return nil
+	}
+	c := &ShardCollector{busy: make([]*Counter, shards)}
+	for s := range c.busy {
+		c.busy[s] = reg.Counter(EngineShardBusy(s))
+	}
+	return c
+}
+
+// Hook returns the collector's ShardHook (nil for a nil collector).
+func (c *ShardCollector) Hook() radio.ShardHook {
+	if c == nil {
+		return nil
+	}
+	return func(shard int, busyNanos int64) {
+		if shard >= len(c.busy) {
+			shard = len(c.busy) - 1
+		}
+		c.busy[shard].Add(busyNanos / 1000)
 	}
 }
 

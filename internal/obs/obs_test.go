@@ -282,3 +282,28 @@ func TestManifestWriteFile(t *testing.T) {
 		t.Fatalf("environment fields not filled: %+v", back)
 	}
 }
+
+func TestShardCollectorHook(t *testing.T) {
+	if NewShardCollector(nil, 4) != nil {
+		t.Fatal("NewShardCollector(nil, 4) != nil")
+	}
+	if NewShardCollector(NewRegistry(), 0) != nil {
+		t.Fatal("NewShardCollector(reg, 0) != nil")
+	}
+	if hook := NewShardCollector(nil, 4).Hook(); hook != nil {
+		t.Fatal("nil collector Hook != nil")
+	}
+	r := NewRegistry()
+	hook := NewShardCollector(r, 2).Hook()
+	hook(0, 3000) // 3µs
+	hook(1, 1000)
+	hook(1, 2000)
+	hook(7, 5000) // beyond the resolved count: folds into the last counter
+	s := r.Snapshot()
+	if s.Counters[EngineShardBusy(0)] != 3 {
+		t.Fatalf("shard 0 busy = %d, want 3", s.Counters[EngineShardBusy(0)])
+	}
+	if s.Counters[EngineShardBusy(1)] != 8 {
+		t.Fatalf("shard 1 busy = %d, want 3 (own) + 5 (overflow fold)", s.Counters[EngineShardBusy(1)])
+	}
+}

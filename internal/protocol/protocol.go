@@ -183,6 +183,25 @@ type BuildParams struct {
 	// Hook, if set, observes every engine round where the runner drives a
 	// single engine (composite multi-engine runners may ignore it).
 	Hook radio.RoundHook
+	// Shards, if > 1, enables intra-round sharding on the runner's engine
+	// (see radio.Engine.SetShards); output is bit-exact at any value.
+	// 0 and 1 both mean unsharded.
+	Shards int
+	// ShardHook, if set alongside Shards > 1, receives per-shard busy-time
+	// telemetry (see radio.ShardHook).
+	ShardHook radio.ShardHook
+}
+
+// ApplyEngine wires the params' engine-level knobs (round hook, shard
+// count, shard telemetry) into e — the one call every single-engine
+// descriptor's Build makes after constructing its protocol, so new knobs
+// reach all algorithms without touching each register.go.
+func (p BuildParams) ApplyEngine(e *radio.Engine) {
+	e.Hook = p.Hook
+	if p.Shards > 1 {
+		e.SetShards(p.Shards)
+		e.ShardHook = p.ShardHook
+	}
 }
 
 // Descriptor registers one algorithm for one task.

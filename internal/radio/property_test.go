@@ -34,15 +34,18 @@ func (s *scripted) Recv(_ int64, msg *Message, collided bool) {
 	}
 }
 
-// TestEngineMatchesBruteForce cross-checks the engine's stamped-array
-// collision accounting against a naive per-round reference on random
-// graphs with random transmission schedules, in both model variants.
+// TestEngineMatchesBruteForce cross-checks the engine's word-parallel
+// delivery kernel against a naive per-round reference on random graphs
+// with random transmission schedules, in both model variants and at a
+// random shard count (node counts reach several words so the shard split
+// is real, and SetShards clamps it on tiny graphs).
 func TestEngineMatchesBruteForce(t *testing.T) {
 	master := rng.New(20240610)
-	check := func(seed uint64, nRaw, rounds uint8, cd bool) bool {
+	check := func(seed uint64, nRaw, rounds, shardRaw uint8, cd bool) bool {
 		r := master.Fork(seed)
-		n := int(nRaw%20) + 2
+		n := int(nRaw)%180 + 2
 		T := int(rounds%20) + 1
+		k := int(shardRaw%4) + 1
 		g := graph.Gnp(n, 0.3, r.Fork(1))
 		nodes := make([]*scripted, n)
 		rn := make([]Node, n)
@@ -56,6 +59,9 @@ func TestEngineMatchesBruteForce(t *testing.T) {
 		}
 		e := NewEngine(g, rn)
 		e.CollisionDetection = cd
+		if k > 1 {
+			e.SetShards(k)
+		}
 		for i := 0; i < T; i++ {
 			e.Step()
 		}

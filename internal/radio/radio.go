@@ -18,6 +18,7 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"sync"
 
 	"radionet/internal/graph"
 )
@@ -221,31 +222,53 @@ type Engine struct {
 	// BulkRecv, if non-nil, replaces per-node delivery Recv calls in both
 	// listener passes (see BulkReceiver).
 	BulkRecv BulkReceiver
+	// ShardHook, if set alongside SetShards(k > 1), receives per-shard
+	// busy-time telemetry after each round (see ShardHook).
+	ShardHook ShardHook
 
 	Metrics Metrics
 
 	round    int64
-	hits     []int32   // number of transmitting neighbors this round
-	stamp    []int64   // round stamp for lazy reset of hits
-	inbox    []int32   // index into txmsg of the message heard (valid when hits==1)
-	isTx     []bool    // whether each node transmitted this round
+	words    int    // ceil(n/64): length of every per-node bitset below
+	tailMask uint64 // valid bits of the last word (all-ones when n%64 == 0)
+
+	// Per-round bitsets, one bit per node (see kernel.go for the delivery
+	// kernel algebra). onair/collided are cleared through the dirty
+	// summary after every round; txw is cleared differentially through
+	// the transmit list; deadw/dormw/quietw persist across rounds.
+	onair    []uint64 // >= 1 transmitting neighbor this round
+	collided []uint64 // >= 2 transmitting neighbors (subset of onair)
+	txw      []uint64 // transmitted this round
+	deadw    []uint64 // crashed (overlay schedule or Mortal wrapper)
+	dormw    []uint64 // dormant Sleeper nodes
+	quietw   []uint64 // SilenceOblivious nodes
+	dirty    []uint64 // summary: bit w set iff onair word w was touched
+
+	inbox    []int32   // txmsg index heard on first touch (unsharded CSR marking)
+	instamp  []int64   // round stamp validating inbox
+	txidx    []int32   // node -> transmit-list index (valid while its txw bit is set)
 	txmsg    []Message // scratch: messages of transmitting nodes, parallel to transmit
 	transmit []int32   // scratch: ids of transmitting nodes
-	stamped  []int32   // scratch: nodes with >= 1 transmitting neighbor
-	rcvID    []int32   // scratch: this round's bulk-delivery listeners
+	rcvID    []int32   // scratch: shard-concatenated bulk-delivery listeners
 	rcvIdx   []int32   // scratch: txmsg index heard by each bulk listener
 	sleeper  []Sleeper // nil for nodes without the Sleeper extension
-	dormant  []bool    // engine-cached Dormant() state
-	quiet    []bool    // engine-cached IgnoresSilence() state
-	allQuiet bool      // every node ignores silence: sparse listener pass
+	allQuiet bool      // every node ignores silence: classify touched words only
+	dense    *graph.AdjBits
 
-	// Fault state: dead is the union of the overlay's crash schedule and
+	// Intra-round sharding (see SetShards): sh[0] is always present and
+	// runs on the caller's goroutine; rangeBulk caches the per-round
+	// BulkRangeActor assertion on Bulk.
+	shards    int
+	sh        []shardState
+	wg        sync.WaitGroup
+	rangeBulk BulkRangeActor
+
+	// Fault state: deadw is the union of the overlay's crash schedule and
 	// the Mortal wrappers' reports; a dead node is off the air and out of
-	// both listener passes. anyDead gates every dead check so unfaulted
+	// the listener pass. anyDead gates the per-node Act check so unfaulted
 	// runs pay one predictable branch.
 	fault      *FaultPlan
 	hasLoss    bool
-	dead       []bool
 	anyDead    bool
 	crashSched []crashEvent
 	crashCur   int
@@ -271,37 +294,62 @@ func NewEngine(g *graph.Graph, nodes []Node) *Engine {
 		panic(fmt.Sprintf("radio: %d nodes for graph with %d vertices", len(nodes), g.N()))
 	}
 	n := g.N()
+	words := (n + 63) / 64
 	e := &Engine{
 		G:        g,
 		Nodes:    nodes,
-		hits:     make([]int32, n),
-		stamp:    make([]int64, n),
+		words:    words,
+		onair:    make([]uint64, words),
+		collided: make([]uint64, words),
+		txw:      make([]uint64, words),
+		deadw:    make([]uint64, words),
+		dormw:    make([]uint64, words),
+		quietw:   make([]uint64, words),
+		dirty:    make([]uint64, (words+63)/64),
 		inbox:    make([]int32, n),
-		isTx:     make([]bool, n),
+		instamp:  make([]int64, n),
+		txidx:    make([]int32, n),
 		txmsg:    make([]Message, 0, n),
 		transmit: make([]int32, 0, n),
-		stamped:  make([]int32, 0, n),
 		// rcvID/rcvIdx (bulk-delivery scratch) grow on first use: most
 		// engines never install BulkRecv and should not carry the buffers.
 		sleeper:  make([]Sleeper, n),
-		dormant:  make([]bool, n),
-		quiet:    make([]bool, n),
 		allQuiet: true,
-		dead:     make([]bool, n),
+		dense:    g.DenseAdj(),
+	}
+	if n > 0 {
+		e.tailMask = ^uint64(0)
+		if r := n & 63; r != 0 {
+			e.tailMask = uint64(1)<<uint(r) - 1
+		}
 	}
 	for i, nd := range nodes {
+		w := i >> 6
+		b := uint64(1) << (uint(i) & 63)
 		if s, ok := nd.(Sleeper); ok {
 			e.sleeper[i] = s
-			e.dormant[i] = s.Dormant()
+			if s.Dormant() {
+				e.dormw[w] |= b
+			}
 		}
 		if q, ok := nd.(SilenceOblivious); ok && q.IgnoresSilence() {
-			e.quiet[i] = true
+			e.quietw[w] |= b
 		} else {
 			e.allQuiet = false
 		}
 		if m, ok := nd.(Mortal); ok {
 			e.mortals = append(e.mortals, mortalRef{id: int32(i), nd: m})
 		}
+	}
+	// Shard state 0 always exists and aliases the engine bitsets: the
+	// unsharded engine runs the very same classify+replay path as any
+	// sharded one, so shard-count invariance has no second code path to
+	// drift from.
+	e.shards = 1
+	e.sh = make([]shardState, 1)
+	e.sh[0] = shardState{
+		eng: e, w1: words, hi: int32(n),
+		onair: e.onair, collided: e.collided, dirty: e.dirty,
 	}
 	return e
 }
@@ -340,7 +388,17 @@ func (e *Engine) SetFaults(p *FaultPlan) {
 // Round returns the index of the next round to execute.
 func (e *Engine) Round() int64 { return e.round }
 
-// Step executes exactly one synchronous round.
+// Step executes exactly one synchronous round: Act (per-node, bulk, or
+// sharded bulk), jam overlay, transmit-marking into the onair/collided
+// bitsets, word-parallel listener classification, and a sequential replay
+// of the classified Recv calls. The classify accumulators bucket every
+// listener before any protocol code runs, so the replay order is
+// deliveries, then collision reports, then silence reports, each in
+// ascending node id — per-listener effects are node-local (no protocol
+// draws randomness or touches another node's state in Recv; loss coins
+// come from per-node streams), so this order is observationally
+// equivalent to the seed's interleaved pass and, crucially, independent
+// of the shard count.
 //
 //radionet:hotpath
 func (e *Engine) Step() {
@@ -349,33 +407,44 @@ func (e *Engine) Step() {
 	e.Metrics.Rounds++
 	if e.fault != nil {
 		for e.crashCur < len(e.crashSched) && e.crashSched[e.crashCur].round <= t {
-			e.dead[e.crashSched[e.crashCur].node] = true
+			v := e.crashSched[e.crashCur].node
+			e.deadw[v>>6] |= 1 << (uint(v) & 63)
 			e.anyDead = true
 			e.crashCur++
 		}
 	}
 	for _, m := range e.mortals {
-		if !e.dead[m.id] && m.nd.Crashed(t) {
-			e.dead[m.id] = true
+		w := m.id >> 6
+		b := uint64(1) << (uint(m.id) & 63)
+		if e.deadw[w]&b == 0 && m.nd.Crashed(t) {
+			e.deadw[w] |= b
 			e.anyDead = true
 		}
 	}
+	// txw is maintained differentially: the bits set last round are
+	// exactly last round's transmit list.
+	for _, u := range e.transmit {
+		e.txw[u>>6] &^= 1 << (uint(u) & 63)
+	}
+	e.transmit = e.transmit[:0]
+	e.txmsg = e.txmsg[:0]
 	if e.Bulk != nil {
-		// isTx is maintained differentially: entries set last round are
-		// exactly last round's transmit list (the dense loop below instead
-		// rewrites every entry each round).
-		for _, u := range e.transmit {
-			e.isTx[u] = false
+		if e.shards > 1 {
+			if rb, ok := e.Bulk.(BulkRangeActor); ok {
+				e.rangeBulk = rb
+				e.actWave()
+			} else {
+				e.transmit, e.txmsg = e.Bulk.ActBulk(t, e.transmit, e.txmsg)
+			}
+		} else {
+			e.transmit, e.txmsg = e.Bulk.ActBulk(t, e.transmit, e.txmsg)
 		}
-		e.transmit = e.transmit[:0]
-		e.txmsg = e.txmsg[:0]
-		e.transmit, e.txmsg = e.Bulk.ActBulk(t, e.transmit, e.txmsg)
 		if e.anyDead {
 			// Dead nodes drop off the air: the bulk path computes the whole
 			// round protocol-side, so the engine masks their transmissions.
 			w := 0
 			for j, u := range e.transmit {
-				if e.dead[u] {
+				if e.deadw[u>>6]&(1<<(uint(u)&63)) != 0 {
 					continue
 				}
 				e.transmit[w] = u
@@ -386,23 +455,21 @@ func (e *Engine) Step() {
 			e.txmsg = e.txmsg[:w]
 		}
 		for _, u := range e.transmit {
-			e.isTx[u] = true
+			e.txw[u>>6] |= 1 << (uint(u) & 63)
 		}
 	} else {
-		e.transmit = e.transmit[:0]
-		e.txmsg = e.txmsg[:0]
 		for i, nd := range e.Nodes {
-			if e.anyDead && e.dead[i] {
-				e.isTx[i] = false // dead nodes are off the air
-				continue
+			w := i >> 6
+			b := uint64(1) << (uint(i) & 63)
+			if e.anyDead && e.deadw[w]&b != 0 {
+				continue // dead nodes are off the air
 			}
-			if e.dormant[i] {
-				e.isTx[i] = false // dormant nodes promise to listen
-				continue
+			if e.dormw[w]&b != 0 {
+				continue // dormant nodes promise to listen
 			}
 			a := nd.Act(t)
-			e.isTx[i] = a.Transmit
 			if a.Transmit {
+				e.txw[w] |= b
 				e.transmit = append(e.transmit, int32(i))
 				e.txmsg = append(e.txmsg, a.Msg)
 			}
@@ -412,112 +479,76 @@ func (e *Engine) Step() {
 		e.applyJam()
 	}
 	e.Metrics.Transmissions += int64(len(e.transmit))
-	// Mark reception counts lazily: stamp arrays avoid an O(n) clear.
-	cur := t + 1 // stamps are 1-based so the zero value never matches
-	e.stamped = e.stamped[:0]
+	// Stamp sender ids and the transmit-list index map before marking:
+	// txidx[u] is how singleton resolution recovers the heard message on
+	// paths that bypass the inbox (dense rows, sharded marking).
 	for j, u := range e.transmit {
 		e.txmsg[j].Src = u
-		for _, v := range e.G.Neighbors(int(u)) {
-			if e.stamp[v] != cur {
-				e.stamp[v] = cur
-				e.hits[v] = 1
-				e.inbox[v] = int32(j)
-				e.stamped = append(e.stamped, v)
-			} else {
-				e.hits[v]++
-			}
-		}
+		e.txidx[u] = int32(j)
 	}
+	if e.shards > 1 {
+		e.markWave()
+		e.classifyWave()
+	} else {
+		e.markAll()
+		e.sh[0].runClassify()
+	}
+	// Sequential replay in shard (= ascending node) order; no protocol
+	// code ran before this point.
 	deliveries, collisions := 0, 0
 	bulkRecv := e.BulkRecv != nil
-	if bulkRecv {
+	var rid, ridx []int32
+	if bulkRecv && e.shards > 1 {
 		e.rcvID = e.rcvID[:0]
 		e.rcvIdx = e.rcvIdx[:0]
 	}
-	if e.allQuiet {
-		// Sparse listener pass: every node ignores silence, so only nodes
-		// with a transmitting neighbor need a Recv call. Per-node outcomes
-		// are identical to the dense pass (node state is private and no
-		// protocol draws randomness in Recv); only the call order differs.
-		for _, vi := range e.stamped {
-			i := int(vi)
-			if e.isTx[i] {
-				continue // transmitters cannot listen
+	for s := range e.sh {
+		st := &e.sh[s]
+		deliveries += st.deliveries
+		collisions += st.collisions
+		switch {
+		case !bulkRecv:
+			for k, v := range st.rcvID {
+				e.Nodes[v].Recv(t, &e.txmsg[st.rcvIdx[k]], false)
+				e.recheckDormant(v)
 			}
-			if e.anyDead && e.dead[i] {
-				continue // dead nodes hear nothing and count nothing
-			}
-			if e.hits[i] == 1 {
-				deliveries++
-				if e.hasLoss && e.fault.dropRecv(i) {
-					continue // reception faded: on the air, never delivered
-				}
-				if bulkRecv {
-					e.rcvID = append(e.rcvID, vi)
-					e.rcvIdx = append(e.rcvIdx, e.inbox[i])
-					continue
-				}
-				e.Nodes[i].Recv(t, &e.txmsg[e.inbox[i]], false)
-			} else {
-				collisions++
-				if bulkRecv && !e.CollisionDetection {
-					// Recv(t, nil, false) is a no-op by the node's
-					// SilenceOblivious promise (which every node of this
-					// pass made), and a dormant node stays dormant without
-					// a reception, so the call is skipped entirely.
-					continue
-				}
-				e.Nodes[i].Recv(t, nil, e.CollisionDetection)
-			}
-			if e.dormant[i] {
-				e.dormant[i] = e.sleeper[i].Dormant()
-			}
+		case e.shards > 1:
+			e.rcvID = append(e.rcvID, st.rcvID...)
+			e.rcvIdx = append(e.rcvIdx, st.rcvIdx...)
+		default:
+			rid, ridx = st.rcvID, st.rcvIdx
 		}
-	} else {
-		for i, nd := range e.Nodes {
-			if e.isTx[i] {
-				continue // transmitters cannot listen
-			}
-			if e.anyDead && e.dead[i] {
-				continue // dead nodes hear nothing and count nothing
-			}
-			onAir := e.stamp[i] == cur
-			if !onAir && (e.dormant[i] || e.quiet[i]) {
-				continue // nothing heard and the node ignores silence
-			}
-			switch {
-			case onAir && e.hits[i] == 1:
-				deliveries++
-				if e.hasLoss && e.fault.dropRecv(i) {
-					continue // reception faded: on the air, never delivered
-				}
-				if bulkRecv {
-					e.rcvID = append(e.rcvID, int32(i))
-					e.rcvIdx = append(e.rcvIdx, e.inbox[i])
-					continue
-				}
-				nd.Recv(t, &e.txmsg[e.inbox[i]], false)
-			case onAir:
-				collisions++
-				nd.Recv(t, nil, e.CollisionDetection)
-			default:
-				nd.Recv(t, nil, false)
-			}
-			if e.dormant[i] {
-				e.dormant[i] = e.sleeper[i].Dormant()
+	}
+	if bulkRecv && e.shards > 1 {
+		rid, ridx = e.rcvID, e.rcvIdx
+	}
+	if e.CollisionDetection {
+		for s := range e.sh {
+			for _, v := range e.sh[s].coll {
+				e.Nodes[v].Recv(t, nil, true)
+				e.recheckDormant(v)
 			}
 		}
 	}
-	if bulkRecv && len(e.rcvID) > 0 {
-		e.BulkRecv.RecvBulk(t, e.rcvID, e.rcvIdx, e.txmsg)
-		for _, vi := range e.rcvID {
-			if e.dormant[vi] {
-				e.dormant[vi] = e.sleeper[vi].Dormant()
-			}
+	for s := range e.sh {
+		// Silence reports never reach dormant or quiet nodes (classify
+		// masked them out), so no dormancy recheck is owed here.
+		for _, v := range e.sh[s].silent {
+			e.Nodes[v].Recv(t, nil, false)
 		}
 	}
+	if bulkRecv && len(rid) > 0 {
+		e.BulkRecv.RecvBulk(t, rid, ridx, e.txmsg)
+		for _, v := range rid {
+			e.recheckDormant(v)
+		}
+	}
+	e.clearRound()
 	e.Metrics.Deliveries += int64(deliveries)
 	e.Metrics.Collisions += int64(collisions)
+	if e.ShardHook != nil {
+		e.flushShardBusy()
+	}
 	if e.Hook != nil {
 		e.Hook(t, e.transmit, deliveries, collisions)
 	}
@@ -534,13 +565,15 @@ func (e *Engine) Step() {
 func (e *Engine) applyJam() {
 	p := e.fault
 	for _, v := range p.jammers {
-		if e.dead[v] {
+		w := v >> 6
+		b := uint64(1) << (uint(v) & 63)
+		if e.deadw[w]&b != 0 {
 			continue
 		}
 		if !p.jamRnd[v].Bernoulli(p.jamP[v]) {
 			continue
 		}
-		if e.isTx[v] {
+		if e.txw[w]&b != 0 {
 			for j, u := range e.transmit {
 				if u == v {
 					e.txmsg[j] = Message{Kind: KindNoise}
@@ -549,7 +582,7 @@ func (e *Engine) applyJam() {
 			}
 			continue
 		}
-		e.isTx[v] = true
+		e.txw[w] |= b
 		e.transmit = append(e.transmit, v)
 		e.txmsg = append(e.txmsg, Message{Kind: KindNoise})
 	}

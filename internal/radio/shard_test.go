@@ -1,0 +1,238 @@
+package radio
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"radionet/internal/graph"
+	"radionet/internal/rng"
+)
+
+// shardProto is the determinism-matrix protocol: every node transmits its
+// id when id % 5 == t % 5 and logs everything it hears (value, collision
+// report, silence report) as a per-node event string. Node decisions are
+// node-local, so the bulk seam may legally implement BulkRangeActor and
+// ride the sharded act wave.
+type shardProto struct {
+	n     int
+	quiet []bool
+	log   [][]string
+}
+
+type shardProtoNode struct {
+	p  *shardProto
+	id int32
+}
+
+func (nd *shardProtoNode) Act(t int64) Action {
+	if int64(nd.id)%5 == t%5 {
+		return Transmit(Message{Kind: 1, A: int64(nd.id)})
+	}
+	return Listen
+}
+
+func (nd *shardProtoNode) Recv(t int64, msg *Message, collided bool) {
+	switch {
+	case msg != nil:
+		nd.p.log[nd.id] = append(nd.p.log[nd.id], fmt.Sprintf("%d:msg%d", t, msg.A))
+	case collided:
+		nd.p.log[nd.id] = append(nd.p.log[nd.id], fmt.Sprintf("%d:coll", t))
+	case !nd.p.quiet[nd.id]:
+		nd.p.log[nd.id] = append(nd.p.log[nd.id], fmt.Sprintf("%d:sil", t))
+	}
+}
+
+func (nd *shardProtoNode) IgnoresSilence() bool { return nd.p.quiet[nd.id] }
+
+func (p *shardProto) ActBulk(t int64, tx []int32, msgs []Message) ([]int32, []Message) {
+	return p.ActBulkRange(t, 0, int32(p.n), tx, msgs)
+}
+
+func (p *shardProto) ActBulkRange(t int64, lo, hi int32, tx []int32, msgs []Message) ([]int32, []Message) {
+	for v := lo; v < hi; v++ {
+		if int64(v)%5 == t%5 {
+			tx = append(tx, v)
+			msgs = append(msgs, Message{Kind: 1, A: int64(v)})
+		}
+	}
+	return tx, msgs
+}
+
+func (p *shardProto) RecvBulk(t int64, listeners, msgIdx []int32, msgs []Message) {
+	for k, vi := range listeners {
+		p.log[vi] = append(p.log[vi], fmt.Sprintf("%d:msg%d", t, msgs[msgIdx[k]].A))
+	}
+}
+
+var _ BulkRangeActor = (*shardProto)(nil)
+var _ BulkReceiver = (*shardProto)(nil)
+
+// shardRun is one cell of the determinism matrix: the engine's Metrics,
+// the per-round hook trace, and the per-node event logs.
+type shardRun struct {
+	metrics Metrics
+	trace   []string
+	logs    [][]string
+}
+
+// mkShardPlan realizes the matrix's faulted scenario: a few crashes at
+// staggered rounds, two jammers, loss on every third node.
+func mkShardPlan(n int) *FaultPlan {
+	p := NewFaultPlan(n, 77)
+	p.Crash(3, 20)
+	p.Crash(n/2, 0)
+	p.Crash(n-2, 45)
+	p.Jam(5, 0.25)
+	p.Jam(n/3, 0.1)
+	for v := 0; v < n; v += 3 {
+		p.Loss(v, 0.2)
+	}
+	return p
+}
+
+func runShardCase(g *graph.Graph, shards int, faulted, cd, bulk bool, rounds int64) shardRun {
+	n := g.N()
+	p := &shardProto{n: n, quiet: make([]bool, n), log: make([][]string, n)}
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		// A mixed quiet/loud population exercises both the all-quiet
+		// dirty-word classify and the full-range silence pass.
+		p.quiet[v] = v%7 != 0
+		nodes[v] = &shardProtoNode{p: p, id: int32(v)}
+	}
+	e := NewEngine(g, nodes)
+	e.CollisionDetection = cd
+	if bulk {
+		e.Bulk = p
+		e.BulkRecv = p
+	}
+	if faulted {
+		e.SetFaults(mkShardPlan(n))
+	}
+	if shards > 1 {
+		e.SetShards(shards)
+	}
+	var trace []string
+	e.Hook = func(t int64, tx []int32, deliveries, collisions int) {
+		ids := slices.Clone(tx)
+		slices.Sort(ids)
+		trace = append(trace, fmt.Sprintf("%d:%v d%d c%d", t, ids, deliveries, collisions))
+	}
+	e.Run(rounds, nil)
+	return shardRun{metrics: e.Metrics, trace: trace, logs: p.log}
+}
+
+// TestShardDeterminismMatrix pins the tentpole invariant: every shard
+// count produces byte-identical Metrics, per-round traces, and per-node
+// event logs, across fault scenarios, both collision-detection variants,
+// and both the per-node and bulk seams.
+func TestShardDeterminismMatrix(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Grid(13, 17), // 221 nodes, 4 words
+		graph.Gnp(300, 0.03, rng.New(9)),
+	}
+	const rounds = 60
+	for _, g := range graphs {
+		for _, faulted := range []bool{false, true} {
+			for _, cd := range []bool{false, true} {
+				for _, bulk := range []bool{false, true} {
+					ref := runShardCase(g, 1, faulted, cd, bulk, rounds)
+					for _, k := range []int{2, 3, 8} {
+						got := runShardCase(g, k, faulted, cd, bulk, rounds)
+						name := fmt.Sprintf("%s faulted=%v cd=%v bulk=%v k=%d", g, faulted, cd, bulk, k)
+						if got.metrics != ref.metrics {
+							t.Fatalf("%s: metrics diverged:\nk=1: %+v\nk=%d: %+v", name, ref.metrics, k, got.metrics)
+						}
+						if !slices.Equal(got.trace, ref.trace) {
+							for i := range ref.trace {
+								if i >= len(got.trace) || got.trace[i] != ref.trace[i] {
+									t.Fatalf("%s: trace diverged at round %d:\nk=1: %s\nk=%d: %s", name, i, ref.trace[i], k, got.trace[i])
+								}
+							}
+							t.Fatalf("%s: trace length %d vs %d", name, len(ref.trace), len(got.trace))
+						}
+						for v := range ref.logs {
+							if !slices.Equal(got.logs[v], ref.logs[v]) {
+								t.Fatalf("%s: node %d log diverged:\nk=1: %v\nk=%d: %v", name, v, ref.logs[v], k, got.logs[v])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSetShardsValidation pins the setup contract: shard counts clamp to
+// the word count, k < 1 and mid-run installs panic, and Shards reports
+// the resolved value.
+func TestSetShardsValidation(t *testing.T) {
+	g := graph.Path(100) // 2 words
+	mk := func() *Engine {
+		nodes := make([]Node, 100)
+		for v := range nodes {
+			nodes[v] = &shardProtoNode{p: &shardProto{n: 100, quiet: make([]bool, 100), log: make([][]string, 100)}, id: int32(v)}
+		}
+		return NewEngine(g, nodes)
+	}
+	e := mk()
+	e.SetShards(8)
+	if got := e.Shards(); got != 2 {
+		t.Fatalf("Shards() = %d after SetShards(8) on a 2-word engine, want 2", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetShards(0) did not panic")
+			}
+		}()
+		mk().SetShards(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mid-run SetShards did not panic")
+			}
+		}()
+		e := mk()
+		e.Step()
+		e.SetShards(2)
+	}()
+}
+
+// TestShardHookReportsBusyTime checks the telemetry seam: with a hook
+// installed and k > 1, every shard reports at least one non-negative busy
+// sample per run, and installing the hook changes no output.
+func TestShardHookReportsBusyTime(t *testing.T) {
+	g := graph.Gnp(300, 0.03, rng.New(9))
+	ref := runShardCase(g, 3, false, false, true, 40)
+
+	n := g.N()
+	p := &shardProto{n: n, quiet: make([]bool, n), log: make([][]string, n)}
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		p.quiet[v] = v%7 != 0
+		nodes[v] = &shardProtoNode{p: p, id: int32(v)}
+	}
+	e := NewEngine(g, nodes)
+	e.Bulk = p
+	e.BulkRecv = p
+	e.SetShards(3)
+	seen := make(map[int]int)
+	e.ShardHook = func(shard int, busyNanos int64) {
+		if busyNanos < 0 {
+			t.Errorf("shard %d reported negative busy time %d", shard, busyNanos)
+		}
+		seen[shard]++
+	}
+	e.Run(40, nil)
+	if e.Metrics != ref.metrics {
+		t.Fatalf("ShardHook changed output: %+v vs %+v", e.Metrics, ref.metrics)
+	}
+	for s := 0; s < e.Shards(); s++ {
+		if seen[s] == 0 {
+			t.Errorf("shard %d never reported busy time", s)
+		}
+	}
+}

@@ -214,6 +214,10 @@ type BroadcastOptions struct {
 	// Faults, if set, injects the fault scenario and survivor-scopes
 	// completion (see FaultPlan).
 	Faults *FaultPlan
+	// EngineShards, if > 1, splits each engine round's delivery work across
+	// that many goroutines (see radio.Engine.SetShards). Output is
+	// byte-identical at any value; 0 and 1 both mean unsharded.
+	EngineShards int
 }
 
 // Broadcast delivers value from node src to every node and returns the
@@ -268,7 +272,8 @@ func (n *Network) Compete(sources map[int]int64, o BroadcastOptions) (Result, er
 	r, err := desc.Build(protocol.BuildParams{
 		G: n.G, D: n.Diameter, Seed: o.Seed,
 		Sources: sources, Faults: o.Faults, Tuning: tuning(o.Config),
-		Hook: radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
+		Hook:   radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
+		Shards: o.EngineShards,
 	})
 	if err != nil {
 		return Result{}, err
@@ -320,6 +325,10 @@ type LeaderOptions struct {
 	// completion (fault-capable leader algorithms only; the plan should
 	// protect the would-be winner — see DESIGN.md §8).
 	Faults *FaultPlan
+	// EngineShards, if > 1, splits each engine round's delivery work across
+	// that many goroutines (see radio.Engine.SetShards). Output is
+	// byte-identical at any value; 0 and 1 both mean unsharded.
+	EngineShards int
 }
 
 // LeaderResult reports a leader election run.
@@ -354,7 +363,8 @@ func (n *Network) LeaderElection(o LeaderOptions) (LeaderResult, error) {
 	r, err := desc.Build(protocol.BuildParams{
 		G: n.G, D: n.Diameter, Seed: o.Seed,
 		Faults: o.Faults, Tuning: tuning(o.Config),
-		Hook: radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
+		Hook:   radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
+		Shards: o.EngineShards,
 	})
 	if err != nil {
 		return LeaderResult{}, err
