@@ -7,14 +7,17 @@
 //
 //	bench                          # run every grid, write BENCH_*.json in .
 //	bench -grid decay -workers 4
+//	bench -grid huge -shards 4 -append   # keep the old measurement as history
 //	bench -quick -out /tmp/bench   # seconds-scale CI smoke variant
 //	bench -validate BENCH_decay.json BENCH_compete.json
 //	bench -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,6 +40,7 @@ func run() error {
 		out      = flag.String("out", ".", "output directory for BENCH_<grid>.json files")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 0, "intra-round engine shards per trial (0 = auto-split spare cores on large graphs, 1 = off)")
+		appendH  = flag.Bool("append", false, "append to the trajectory: fold an existing BENCH_<grid>.json's measurement into the new file's history instead of discarding it")
 		validate = flag.Bool("validate", false, "validate the bench files given as arguments and exit")
 		list     = flag.Bool("list", false, "list the pinned grids and exit")
 	)
@@ -100,6 +104,17 @@ func run() error {
 		}
 		f.Generated = time.Now().UTC().Format(time.RFC3339)
 		path := filepath.Join(*out, "BENCH_"+g.Name+".json")
+		if *appendH {
+			prev, err := bench.ParseFile(path)
+			switch {
+			case err == nil:
+				f.AppendHistory(prev)
+			case !errors.Is(err, fs.ErrNotExist):
+				// A malformed existing file must not be silently overwritten:
+				// its trajectory would be lost. A missing file starts one.
+				return err
+			}
+		}
 		if err := f.WriteFile(path); err != nil {
 			return err
 		}

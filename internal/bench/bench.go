@@ -21,12 +21,16 @@ import (
 )
 
 // SchemaVersion is bumped on any incompatible File change. Version 2
-// added the Shards field (intra-round engine shard count); version 1
-// files — without it — still parse (see Parse).
-const SchemaVersion = 2
+// added the Shards field (intra-round engine shard count); version 3
+// added the History trajectory (prior runs' headline measurements,
+// appended by cmd/bench -append). Older files still parse (see Parse).
+const SchemaVersion = 3
 
-// schemaV1 is the oldest version Parse still accepts.
-const schemaV1 = 1
+// schemaV1 and schemaV2 are the older versions Parse still accepts.
+const (
+	schemaV1 = 1
+	schemaV2 = 2
+)
 
 // File is one emitted BENCH_<grid>.json: the grid identity, the execution
 // environment and one record per grid configuration. Entries reuse the
@@ -55,6 +59,49 @@ type File struct {
 	RoundsPerSec float64 `json:"rounds_per_sec"`
 	// Entries are the per-configuration records, in configuration order.
 	Entries []obs.ConfigRecord `json:"entries"`
+	// History is the grid's measurement trajectory: the headline numbers
+	// of prior runs, oldest first (schema 3+; cmd/bench -append moves the
+	// previous file's measurement here instead of discarding it).
+	History []HistoryEntry `json:"history,omitempty"`
+}
+
+// HistoryEntry is one prior run's headline measurement: the execution
+// environment plus the whole-run numbers, without the per-config
+// entries. It is exactly what a throughput-trajectory diff needs —
+// wall time and rounds/s against cores, workers and shard count.
+type HistoryEntry struct {
+	Generated    string  `json:"generated,omitempty"`
+	Go           string  `json:"go"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	Shards       int     `json:"shards,omitempty"`
+	ConfigHash   string  `json:"config_hash"`
+	Quick        bool    `json:"quick,omitempty"`
+	WallMS       float64 `json:"wall_ms"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
+
+// Snapshot condenses the file's current measurement into the history
+// form — what -append preserves before overwriting the measurement.
+func (f *File) Snapshot() HistoryEntry {
+	return HistoryEntry{
+		Generated:    f.Generated,
+		Go:           f.Go,
+		GOMAXPROCS:   f.GOMAXPROCS,
+		Workers:      f.Workers,
+		Shards:       f.Shards,
+		ConfigHash:   f.ConfigHash,
+		Quick:        f.Quick,
+		WallMS:       f.WallMS,
+		RoundsPerSec: f.RoundsPerSec,
+	}
+}
+
+// AppendHistory grafts prev's trajectory onto f: prev's own history,
+// then prev's measurement as the newest prior entry. The fresh run in
+// f's top-level fields stays the file's current measurement.
+func (f *File) AppendHistory(prev *File) {
+	f.History = append(append([]HistoryEntry(nil), prev.History...), prev.Snapshot())
 }
 
 // Grid is one named pinned benchmark matrix.
@@ -229,11 +276,30 @@ type fileV1 struct {
 	Entries       []obs.ConfigRecord `json:"entries"`
 }
 
+// fileV2 is the schema-2 wire shape: File with Shards but without the
+// History trajectory. A version-2 file carrying "history" is schema
+// drift and fails strict parsing.
+type fileV2 struct {
+	SchemaVersion int                `json:"schema_version"`
+	Grid          string             `json:"grid"`
+	Generated     string             `json:"generated,omitempty"`
+	Go            string             `json:"go"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Workers       int                `json:"workers"`
+	Shards        int                `json:"shards,omitempty"`
+	ConfigHash    string             `json:"config_hash"`
+	Quick         bool               `json:"quick,omitempty"`
+	WallMS        float64            `json:"wall_ms"`
+	RoundsPerSec  float64            `json:"rounds_per_sec"`
+	Entries       []obs.ConfigRecord `json:"entries"`
+}
+
 // Parse decodes and validates a bench file, rejecting unknown fields so
 // schema drift fails loudly in CI rather than silently dropping data.
-// Both supported schema versions parse strictly against their own wire
-// shape: a version-1 file must not carry version-2 fields, and vice
-// versa nothing unknown; parsed version-1 files report Shards 0.
+// Every supported schema version parses strictly against its own wire
+// shape: a version-1 file must not carry version-2 fields, a version-2
+// file must not carry a history, and nothing unknown anywhere; parsed
+// version-1 files report Shards 0.
 func Parse(b []byte) (*File, error) {
 	var ver struct {
 		SchemaVersion int `json:"schema_version"`
@@ -260,6 +326,25 @@ func Parse(b []byte) (*File, error) {
 			WallMS:        v1.WallMS,
 			RoundsPerSec:  v1.RoundsPerSec,
 			Entries:       v1.Entries,
+		}
+	case schemaV2:
+		var v2 fileV2
+		if err := strictUnmarshal(b, &v2); err != nil {
+			return nil, fmt.Errorf("bench: schema %d: %w", schemaV2, err)
+		}
+		f = File{
+			SchemaVersion: v2.SchemaVersion,
+			Grid:          v2.Grid,
+			Generated:     v2.Generated,
+			Go:            v2.Go,
+			GOMAXPROCS:    v2.GOMAXPROCS,
+			Workers:       v2.Workers,
+			Shards:        v2.Shards,
+			ConfigHash:    v2.ConfigHash,
+			Quick:         v2.Quick,
+			WallMS:        v2.WallMS,
+			RoundsPerSec:  v2.RoundsPerSec,
+			Entries:       v2.Entries,
 		}
 	default:
 		// Validate reports unsupported versions; current-version files
@@ -293,11 +378,19 @@ func (f *File) Validate() error {
 	if f.SchemaVersion < schemaV1 || f.SchemaVersion > SchemaVersion {
 		return fmt.Errorf("bench: schema_version %d, supported %d-%d", f.SchemaVersion, schemaV1, SchemaVersion)
 	}
-	if f.SchemaVersion < SchemaVersion && f.Shards != 0 {
-		return fmt.Errorf("bench: schema_version %d carries shards %d (a version-%d field)", f.SchemaVersion, f.Shards, SchemaVersion)
+	if f.SchemaVersion < schemaV2 && f.Shards != 0 {
+		return fmt.Errorf("bench: schema_version %d carries shards %d (a version-%d field)", f.SchemaVersion, f.Shards, schemaV2)
+	}
+	if f.SchemaVersion < SchemaVersion && len(f.History) != 0 {
+		return fmt.Errorf("bench: schema_version %d carries a %d-entry history (a version-%d field)", f.SchemaVersion, len(f.History), SchemaVersion)
 	}
 	if f.Shards < 0 {
 		return fmt.Errorf("bench: negative shards %d", f.Shards)
+	}
+	for i, h := range f.History {
+		if h.WallMS < 0 || h.RoundsPerSec < 0 || h.Shards < 0 {
+			return fmt.Errorf("bench: grid %s history entry %d: negative measurement", f.Grid, i)
+		}
 	}
 	if f.Grid == "" {
 		return fmt.Errorf("bench: missing grid name")

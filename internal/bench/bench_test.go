@@ -123,8 +123,79 @@ func TestParseSchemaVersions(t *testing.T) {
 	if _, err := Parse([]byte(v1drift)); err == nil || !strings.Contains(err.Error(), "shards") {
 		t.Fatalf("v1 file with v2 field accepted: %v", err)
 	}
-	if _, err := Parse([]byte(`{"schema_version":3,"grid":"g","entries":[` + entry + `]}`)); err == nil {
+	hist := `{"go":"go1.x","gomaxprocs":1,"workers":1,"shards":1,"config_hash":"h","wall_ms":2,"rounds_per_sec":5}`
+	v3 := `{"schema_version":3,"grid":"decay","go":"go1.x","gomaxprocs":4,"workers":4,"shards":4,"config_hash":"h","wall_ms":1,"rounds_per_sec":10,"entries":[` + entry + `],"history":[` + hist + `]}`
+	f, err = Parse([]byte(v3))
+	if err != nil {
+		t.Fatalf("v3 file rejected: %v", err)
+	}
+	if f.SchemaVersion != 3 || len(f.History) != 1 || f.History[0].WallMS != 2 {
+		t.Fatalf("v3 parse: %+v", f)
+	}
+	v2drift := `{"schema_version":2,"grid":"decay","go":"go1.x","gomaxprocs":1,"workers":1,"shards":4,"config_hash":"h","wall_ms":1,"rounds_per_sec":10,"entries":[` + entry + `],"history":[` + hist + `]}`
+	if _, err := Parse([]byte(v2drift)); err == nil || !strings.Contains(err.Error(), "history") {
+		t.Fatalf("v2 file with v3 field accepted: %v", err)
+	}
+	if _, err := Parse([]byte(`{"schema_version":4,"grid":"g","entries":[` + entry + `]}`)); err == nil {
 		t.Fatal("future schema version accepted")
+	}
+}
+
+// TestAppendHistory pins the -append trajectory contract: the previous
+// file's headline measurement becomes the newest history entry, its own
+// history survives in order, and the grafted file still validates and
+// round-trips.
+func TestAppendHistory(t *testing.T) {
+	entries := []obs.ConfigRecord{{Name: "randtree:2000/broadcast:bgi", N: 2000, D: 20, Trials: 2, RoundsMean: 100, WallMSTotal: 1, WallMSMean: 0.5}}
+	prev := &File{
+		SchemaVersion: SchemaVersion,
+		Grid:          "decay",
+		Generated:     "2026-01-01T00:00:00Z",
+		Go:            "go1.x",
+		GOMAXPROCS:    1,
+		Workers:       1,
+		Shards:        1,
+		ConfigHash:    "h-old",
+		WallMS:        200,
+		RoundsPerSec:  5,
+		Entries:       entries,
+		History:       []HistoryEntry{{Go: "go1.w", GOMAXPROCS: 1, Workers: 1, ConfigHash: "h-older", WallMS: 300, RoundsPerSec: 3}},
+	}
+	fresh := &File{
+		SchemaVersion: SchemaVersion,
+		Grid:          "decay",
+		Go:            "go1.x",
+		GOMAXPROCS:    4,
+		Workers:       4,
+		Shards:        4,
+		ConfigHash:    "h-old",
+		WallMS:        100,
+		RoundsPerSec:  10,
+		Entries:       entries,
+	}
+	fresh.AppendHistory(prev)
+	if len(fresh.History) != 2 {
+		t.Fatalf("history length %d, want 2", len(fresh.History))
+	}
+	if fresh.History[0].ConfigHash != "h-older" || fresh.History[1].ConfigHash != "h-old" {
+		t.Fatalf("history order wrong: %+v", fresh.History)
+	}
+	if fresh.History[1].WallMS != 200 || fresh.History[1].Generated != "2026-01-01T00:00:00Z" {
+		t.Fatalf("snapshot lost the previous measurement: %+v", fresh.History[1])
+	}
+	if fresh.WallMS != 100 || fresh.Shards != 4 {
+		t.Fatalf("append clobbered the fresh measurement: %+v", fresh)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_decay.json")
+	if err := fresh.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.History) != 2 || back.History[1].WallMS != 200 {
+		t.Fatalf("history did not round-trip: %+v", back.History)
 	}
 }
 

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// transportMatrix is a small faulted matrix exercising both a bulk-path
+// algorithm (bgi) and the reference-path switch (cd17) under crash
+// faults — the acceptance scenario of the transport seam.
+func transportMatrix(transports ...string) Matrix {
+	return Matrix{
+		Topologies: []string{"grid:4x6"},
+		Algorithms: []AlgoSpec{
+			{Task: Broadcast, Algo: "bgi"},
+			{Task: Broadcast, Algo: "cd17"},
+		},
+		Faults:     []string{"crash:0.3@50"},
+		Transports: transports,
+		Seeds:      2,
+		MasterSeed: 42,
+	}
+}
+
+// TestTransportAxisExpansion: the transport axis crosses innermost, the
+// empty axis leaves expansion identical to a pre-axis matrix, and an
+// explicit empty name means the simulator.
+func TestTransportAxisExpansion(t *testing.T) {
+	base, err := transportMatrix().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := transportMatrix(SimTransport, "lockstep")
+	p, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Configs) != 2*len(base.Configs) {
+		t.Fatalf("%d configs, want %d", len(p.Configs), 2*len(base.Configs))
+	}
+	if p.Configs[0].Transport != SimTransport || p.Configs[1].Transport != "lockstep" {
+		t.Fatalf("transport not innermost: %q then %q", p.Configs[0].Transport, p.Configs[1].Transport)
+	}
+	if p.Configs[0].Spec.Algo != p.Configs[1].Spec.Algo {
+		t.Fatal("transport axis crossed outside the algorithm axis")
+	}
+	if base.Configs[0].Transport != "" {
+		t.Fatalf("axis-free config carries transport %q", base.Configs[0].Transport)
+	}
+}
+
+// TestTransportAxisValidation: unknown backends and transport-incapable
+// algorithms fail at Expand, loudly, never as silently retargeted runs.
+func TestTransportAxisValidation(t *testing.T) {
+	m := transportMatrix("warp-drive")
+	if _, err := m.Expand(); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	// binary-search LE is a composite runner (one engine per ID bit) and
+	// does not advertise the transport capability.
+	bad := Matrix{
+		Topologies: []string{"grid:4x4"},
+		Algorithms: []AlgoSpec{{Task: Leader, Algo: "binary-search"}},
+		Transports: []string{"lockstep"},
+		Seeds:      1,
+		MasterSeed: 1,
+	}
+	if _, err := bad.Expand(); err == nil {
+		t.Fatal("transport-incapable algorithm accepted a lockstep cell")
+	}
+	// The simulator name is always acceptable — it is the default
+	// executor every algorithm already runs on.
+	bad.Transports = []string{"", SimTransport}
+	if _, err := bad.Expand(); err != nil {
+		t.Fatalf("simulator cell rejected: %v", err)
+	}
+}
+
+// TestTransportSinkEquivalence is the backend-equivalence acceptance
+// criterion: the same faulted campaign produces byte-identical sink
+// output on the simulator and the lockstep backend, at any worker count.
+func TestTransportSinkEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full protocol trials")
+	}
+	sim := runToBuffers(t, Campaign{Matrix: transportMatrix(SimTransport), Workers: 1})
+	for _, workers := range []int{1, 4} {
+		lock := runToBuffers(t, Campaign{Matrix: transportMatrix("lockstep"), Workers: workers})
+		for _, f := range []string{"text", "csv", "jsonl"} {
+			if sim[f] != lock[f] {
+				t.Errorf("workers=%d: %s sink diverges across backends:\n-- sim --\n%s\n-- lockstep --\n%s",
+					workers, f, sim[f], lock[f])
+			}
+		}
+	}
+}
+
+// TestTransportBudgetExhaustedNoLeak: trials that exhaust their round
+// budget mid-protocol still tear their lockstep backends down — no node
+// goroutines survive the campaign.
+func TestTransportBudgetExhaustedNoLeak(t *testing.T) {
+	m := transportMatrix("lockstep")
+	m.MaxRounds = 5 // far below any completion budget
+	before := runtime.NumGoroutine()
+	sum, err := (&Campaign{Matrix: m, Workers: 2}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhausted := 0
+	for _, s := range sum {
+		exhausted += s.FailReasons["budget"]
+	}
+	if exhausted == 0 {
+		t.Fatal("no trial exhausted its budget; the teardown path went unexercised")
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i >= 100 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -178,6 +178,19 @@ func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, opts tria
 	if desc.Caps.Faults && !cfg.Fault.None() {
 		plan = trialPlan(cfg, desc, seed, sources)
 	}
+	// Non-simulator cells run over their backend's round executor: one
+	// transport instance per trial (a transport owns per-run goroutines
+	// and sockets), closed when the trial ends — budget-exhausted runs
+	// included.
+	var tr radio.Transport
+	if cfg.Transport != "" && cfg.Transport != SimTransport {
+		t, err := radio.NewTransport(cfg.Transport)
+		if err != nil {
+			return TrialResult{Err: err.Error(), Reason: "error"}
+		}
+		tr = t
+		defer tr.Close()
+	}
 	r, err := desc.Build(protocol.BuildParams{
 		G:         cfg.G,
 		D:         cfg.D,
@@ -188,6 +201,7 @@ func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, opts tria
 		Hook:      opts.hook,
 		Shards:    opts.shards,
 		ShardHook: opts.shardHook,
+		Transport: tr,
 	})
 	if err != nil {
 		return TrialResult{Err: err.Error(), Reason: "error"}

@@ -3,6 +3,7 @@ package lint
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		BackendIsolation,
 		Determinism,
 		HookNeutrality,
 		HotPath,

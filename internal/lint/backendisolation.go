@@ -1,0 +1,56 @@
+// The backendisolation analyzer: transport backends under
+// internal/radio/ are siblings behind the radio.Transport seam and must
+// stay mutually unaware — each one talks to the engine contract, never
+// to another backend.
+
+package lint
+
+import (
+	"path"
+	"regexp"
+)
+
+// BackendIsolation forbids a transport-backend package (any immediate
+// subpackage of internal/radio) from importing a sibling backend. The
+// seam's portability argument — every backend is exercised through the
+// same Driver contract and is observationally interchangeable — only
+// holds while backends share nothing but radionet/internal/radio itself;
+// a cross-import would let one backend's round semantics lean on
+// another's internals. The aggregator package internal/radio/backends is
+// exempt as an importer: linking every backend into a binary is its
+// whole job. There is no suppression: a backend cross-import has no
+// sanctioned variant.
+var BackendIsolation = &Analyzer{
+	Name:      "backendisolation",
+	Doc:       "transport backend packages under internal/radio/ must not import each other",
+	SkipTests: true, // tests may drive a sibling for differential checks
+	Run:       runBackendIsolation,
+}
+
+// backendPathRE matches an immediate subpackage of an internal/radio
+// directory — the backend namespace. The parent engine package itself
+// (".../internal/radio") does not match.
+var backendPathRE = regexp.MustCompile(`(^|/)internal/radio/[^/]+$`)
+
+// isBackendPkg reports whether pkgPath names a transport backend: an
+// immediate internal/radio subpackage other than the backends
+// aggregator.
+func isBackendPkg(pkgPath string) bool {
+	return backendPathRE.MatchString(pkgPath) && path.Base(pkgPath) != "backends"
+}
+
+func runBackendIsolation(pass *Pass) {
+	if !isBackendPkg(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, spec := range file.Imports {
+			imp := importPathOf(spec)
+			if imp == pass.Pkg.Path() || !backendPathRE.MatchString(imp) {
+				continue
+			}
+			pass.Reportf("", spec.Pos(),
+				"backend package imports sibling backend %s: backends must stay mutually unaware and meet only at the radio.Transport seam", imp)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package backends mirrors the real aggregator: importing every backend
+// is its whole job, so the analyzer must stay silent here.
+package backends
+
+import (
+	_ "radionet/internal/lint/testdata/src/backiso/internal/radio/fakeback"
+	_ "radionet/internal/lint/testdata/src/backiso/internal/radio/otherback"
+)

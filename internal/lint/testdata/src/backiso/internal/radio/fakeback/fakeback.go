@@ -1,0 +1,13 @@
+// Package fakeback is the backendisolation-analyzer fixture: a backend
+// that reaches into a sibling backend, which the analyzer must flag.
+package fakeback
+
+import (
+	"fmt"
+
+	"radionet/internal/lint/testdata/src/backiso/internal/radio/otherback" // want "imports sibling backend"
+)
+
+// Name leans on the sibling — the exact dependency shape the analyzer
+// exists to forbid.
+func Name() string { return fmt.Sprintf("fake-%s", otherback.Name()) }

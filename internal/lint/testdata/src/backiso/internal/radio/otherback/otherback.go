@@ -1,0 +1,6 @@
+// Package otherback is a clean backendisolation fixture: a backend that
+// imports nothing from the backend namespace.
+package otherback
+
+// Name identifies the fixture backend.
+func Name() string { return "otherback" }

@@ -53,6 +53,10 @@ type Manifest struct {
 	Workers    int    `json:"workers"`
 	// Protocols is the registered (task:name) set the binary carried.
 	Protocols []string `json:"protocols"`
+	// Transports is the registered transport-backend name set the binary
+	// carried (omitted by producers predating the transport seam, keeping
+	// their manifests byte-stable).
+	Transports []string `json:"transports,omitempty"`
 	// WallMS is the whole run's wall time in milliseconds.
 	WallMS float64 `json:"wall_ms"`
 	// Configs are the per-configuration records, in run order.

@@ -1,0 +1,15 @@
+// Package backends populates the transport registry with the full
+// backend catalogue, the transport-seam analogue of
+// internal/protocol/all: importing it (blank) is what decides which
+// round executors a binary can run. Backend packages register themselves
+// in their own register.go files and need no changes here beyond the one
+// blank import per package.
+package backends
+
+import (
+	// The in-process simulator ("sim") and the message-passing lockstep
+	// coordinator ("lockstep" over pipes, "lockstep-tcp" over loopback
+	// sockets).
+	_ "radionet/internal/radio/lockstep"
+	_ "radionet/internal/radio/simbackend"
+)

@@ -1,0 +1,110 @@
+// The lockstep wire format: length-prefixed frames over a reliable byte
+// stream, identical for in-process pipes and TCP sockets.
+//
+//	frame  = len(4B big-endian: bytes after the length) type(1B) payload
+//	act     -> round(8B)                                  node replies intent
+//	intent  <- flags(1B) [msg(22B) if flagTransmit]
+//	observe -> round(8B) flags(1B) [msg(22B) if flagMsg]  node replies ack
+//	ack     <- (empty)
+//	msg     = kind(2B) src(4B) a(8B) b(8B), all big-endian two's complement
+//
+// Every exchange is a strict request/reply pair initiated by the
+// coordinator, so each side needs exactly one small reusable buffer per
+// link and the ack read doubles as the happens-before edge that makes a
+// node's Recv side effects (Progress counters, protocol state) visible
+// to the coordinator before the round advances.
+package lockstep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"radionet/internal/radio"
+)
+
+// Frame types.
+const (
+	frameAct byte = iota + 1
+	frameIntent
+	frameObserve
+	frameAck
+)
+
+// Flag bits (intent frames use flagTransmit; observe frames use
+// flagMsg/flagCollided).
+const (
+	flagTransmit byte = 1 << 0
+	flagMsg      byte = 1 << 0
+	flagCollided byte = 1 << 1
+)
+
+const (
+	msgLen     = 2 + 4 + 8 + 8 // Kind, Src, A, B
+	headerLen  = 4 + 1         // length prefix + frame type
+	maxPayload = 8 + 1 + msgLen
+)
+
+// putMsg encodes m's fixed-width fields into b[:msgLen]. Message.Payload
+// cannot cross the wire: no registered protocol uses it (they all fit
+// Kind/A/B), and silently dropping it would be a correctness bug, so a
+// non-nil Payload is a loud error.
+func putMsg(b []byte, m *radio.Message) {
+	if m.Payload != nil {
+		panic("lockstep: Message.Payload cannot cross the wire; extend the codec before using it")
+	}
+	binary.BigEndian.PutUint16(b[0:2], uint16(m.Kind))
+	binary.BigEndian.PutUint32(b[2:6], uint32(m.Src))
+	binary.BigEndian.PutUint64(b[6:14], uint64(m.A))
+	binary.BigEndian.PutUint64(b[14:22], uint64(m.B))
+}
+
+// getMsg decodes a message encoded by putMsg.
+func getMsg(b []byte) radio.Message {
+	return radio.Message{
+		Kind: radio.Kind(int16(binary.BigEndian.Uint16(b[0:2]))),
+		Src:  int32(binary.BigEndian.Uint32(b[2:6])),
+		A:    int64(binary.BigEndian.Uint64(b[6:14])),
+		B:    int64(binary.BigEndian.Uint64(b[14:22])),
+	}
+}
+
+// link is one end of a node connection plus its framing scratch. A link
+// is used by one goroutine at a time (the request/reply discipline plus
+// the coordinator's per-round joins enforce that), so the buffers are
+// reused without locking.
+type link struct {
+	c    net.Conn
+	rbuf [headerLen + maxPayload]byte
+	wbuf [headerLen + maxPayload]byte
+}
+
+// stage returns the staging area for an outgoing frame's payload.
+func (l *link) stage() []byte { return l.wbuf[headerLen:] }
+
+// send frames the staged n-byte payload as one frame in a single Write
+// (net.Pipe is synchronous: one Write is one rendezvous).
+func (l *link) send(typ byte, n int) error {
+	binary.BigEndian.PutUint32(l.wbuf[0:4], uint32(1+n))
+	l.wbuf[4] = typ
+	_, err := l.c.Write(l.wbuf[:headerLen+n])
+	return err
+}
+
+// recv reads one frame; the payload aliases the link's read buffer and
+// is valid until the next recv.
+func (l *link) recv() (byte, []byte, error) {
+	if _, err := io.ReadFull(l.c, l.rbuf[:headerLen]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(l.rbuf[0:4])
+	if n < 1 || n > 1+maxPayload {
+		return 0, nil, fmt.Errorf("lockstep: bad frame length %d", n)
+	}
+	p := l.rbuf[headerLen : headerLen+int(n)-1]
+	if _, err := io.ReadFull(l.c, p); err != nil {
+		return 0, nil, err
+	}
+	return l.rbuf[4], p, nil
+}

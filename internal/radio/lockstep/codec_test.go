@@ -1,0 +1,38 @@
+package lockstep
+
+import (
+	"testing"
+
+	"radionet/internal/radio"
+)
+
+// TestMsgRoundTrip: the fixed-width codec is lossless over the full
+// signed ranges of every field.
+func TestMsgRoundTrip(t *testing.T) {
+	msgs := []radio.Message{
+		{},
+		{Kind: 1, Src: 0, A: 9, B: -9},
+		{Kind: -32768, Src: 2147483647, A: -1 << 62, B: 1<<62 - 1},
+		{Kind: 32767, Src: -1, A: -1, B: 0},
+	}
+	var buf [msgLen]byte
+	for _, m := range msgs {
+		putMsg(buf[:], &m)
+		if got := getMsg(buf[:]); got != m {
+			t.Errorf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+}
+
+// TestPayloadPanics: Message.Payload must never silently cross the wire
+// — encoding a message carrying one is a loud error.
+func TestPayloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("putMsg accepted a Message with a Payload")
+		}
+	}()
+	var buf [msgLen]byte
+	m := radio.Message{Kind: 1, Payload: []int{1}}
+	putMsg(buf[:], &m)
+}

@@ -1,0 +1,330 @@
+// Package lockstep is the message-passing backend of the transport seam:
+// every node runs as its own goroutine behind a byte-stream connection
+// (in-process net.Pipe for "lockstep", loopback TCP for "lockstep-tcp",
+// the same codec over both), and a lockstep coordinator drives the
+// synchronous rounds — polling transmit intents, handing them to the
+// engine's interference physics (marking, collision algebra, FaultPlan,
+// metrics, hooks, all computed from the shared topology on the engine
+// side), and delivering the classified observations back over the wire.
+//
+// The determinism argument, in full: (1) intents are collected exactly
+// from the engine's live list and concatenated in ascending node id, so
+// the transmit set equals the in-process per-node loop's; (2) every
+// protocol's randomness is drawn node-locally inside Act/Recv, in the
+// same per-node order as in-process, because each node's exchanges are a
+// strict request/reply sequence on its own connection; (3) observations
+// replay in the engine's sequential order (deliveries, collision
+// reports, silences, ascending id) with a per-observe ack, so no
+// scheduling of the node goroutines can reorder protocol side effects.
+// The coordinator therefore never injects ordering into outputs, and a
+// lockstep run is observationally identical — transmitters, deliveries,
+// collisions, metrics, hook traces, completion round — to the simulator
+// backend on the same (graph, seed). The equivalence suite in
+// lockstep_test.go pins exactly that, the same way FaultPlan-vs-Wrap
+// (PR 4) and sharded-vs-unsharded (PR 8) are pinned.
+package lockstep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"radionet/internal/radio"
+)
+
+// actFanout caps the goroutines fanning out concurrent act polls when
+// the protocol's bulk actor proves Act node-local (see Attach).
+const actFanout = 8
+
+// Transport runs an engine's nodes as goroutines behind links. The zero
+// value is not usable; build instances through radio.NewTransport
+// ("lockstep" or "lockstep-tcp") or New/NewTCP.
+type Transport struct {
+	name string
+	tcp  bool
+
+	links []*link // coordinator-side ends, indexed by node id
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// New returns the in-process pipe variant ("lockstep").
+func New() *Transport { return &Transport{name: "lockstep"} }
+
+// NewTCP returns the loopback-socket variant ("lockstep-tcp"): the same
+// coordinator and codec, with every node behind its own TCP connection —
+// the shape a multi-process deployment would use.
+func NewTCP() *Transport { return &Transport{name: "lockstep-tcp", tcp: true} }
+
+// Name implements radio.Transport.
+func (tr *Transport) Name() string { return tr.name }
+
+// Attach implements radio.Transport: it spawns one goroutine per engine
+// node, connects each behind a link, and installs the coordinator as the
+// engine's round-executor driver. Act polls fan out concurrently only
+// when the protocol installed a radio.BulkRangeActor — the contract that
+// Act touches no cross-node state — and the fan-out collects results by
+// live-list position, so concurrency never reaches the transmit order.
+// Sequential polling is always safe: the request/reply chain through
+// each link serializes every node exchange behind the previous one.
+func (tr *Transport) Attach(e *radio.Engine) {
+	if tr.links != nil {
+		panic("lockstep: Attach called twice")
+	}
+	_, parallel := e.Bulk.(radio.BulkRangeActor)
+	n := len(e.Nodes)
+	tr.links = make([]*link, n)
+	nodeSide := make([]net.Conn, n)
+	if tr.tcp {
+		tr.dialTCP(nodeSide)
+	} else {
+		for i := range tr.links {
+			coord, node := net.Pipe()
+			tr.links[i] = &link{c: coord}
+			nodeSide[i] = node
+		}
+	}
+	tr.wg.Add(n)
+	for i, nd := range e.Nodes {
+		go nodeLoop(nd, &link{c: nodeSide[i]}, &tr.wg)
+	}
+	c := &coordinator{links: tr.links, fan: 1}
+	if parallel {
+		c.fan = actFanout
+	}
+	e.SetDriver(c)
+}
+
+// dialTCP connects every node over loopback TCP: one dial + accept per
+// node, with a 4-byte node-id handshake on the accepted side so pairing
+// never depends on accept-queue order. Socket setup failure is an
+// environment catastrophe (loopback listen/dial), not a run outcome, so
+// it panics like every other Attach misuse.
+func (tr *Transport) dialTCP(nodeSide []net.Conn) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("lockstep: listen: %v", err))
+	}
+	defer ln.Close()
+	for i := range tr.links {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			tr.closeLinks(nodeSide)
+			panic(fmt.Sprintf("lockstep: dial node %d: %v", i, err))
+		}
+		var id [4]byte
+		binary.BigEndian.PutUint32(id[:], uint32(i))
+		if _, err := c.Write(id[:]); err != nil {
+			c.Close()
+			tr.closeLinks(nodeSide)
+			panic(fmt.Sprintf("lockstep: handshake node %d: %v", i, err))
+		}
+		tr.links[i] = &link{c: c}
+		s, err := ln.Accept()
+		if err != nil {
+			tr.closeLinks(nodeSide)
+			panic(fmt.Sprintf("lockstep: accept node %d: %v", i, err))
+		}
+		var got [4]byte
+		if _, err := io.ReadFull(s, got[:]); err != nil {
+			s.Close()
+			tr.closeLinks(nodeSide)
+			panic(fmt.Sprintf("lockstep: handshake node %d: %v", i, err))
+		}
+		nodeSide[binary.BigEndian.Uint32(got[:])] = s
+	}
+}
+
+// closeLinks releases everything dialed so far after a setup failure.
+func (tr *Transport) closeLinks(nodeSide []net.Conn) {
+	for _, l := range tr.links {
+		if l != nil {
+			l.c.Close()
+		}
+	}
+	for _, c := range nodeSide {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Close implements radio.Transport: it closes the coordinator-side
+// connections — unblocking every node loop's pending read — and waits
+// for all node goroutines to exit. Idempotent, and independent of how
+// the run ended: a budget-exhausted run closes exactly like a completed
+// one, leaking neither goroutines nor sockets.
+func (tr *Transport) Close() error {
+	tr.once.Do(func() {
+		for _, l := range tr.links {
+			if l != nil {
+				l.c.Close()
+			}
+		}
+		tr.wg.Wait()
+	})
+	return nil
+}
+
+// nodeLoop serves one node state machine: answer act polls with intents
+// and observe deliveries with acks until the link closes. The node's
+// state is touched only here, on this goroutine — the coordinator sees
+// it exclusively through frames.
+func nodeLoop(nd radio.Node, l *link, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer l.c.Close()
+	for {
+		typ, p, err := l.recv()
+		if err != nil {
+			return // link closed: run over (completed or budget-exhausted)
+		}
+		switch typ {
+		case frameAct:
+			t := int64(binary.BigEndian.Uint64(p[0:8]))
+			a := nd.Act(t)
+			out := l.stage()
+			if a.Transmit {
+				out[0] = flagTransmit
+				putMsg(out[1:], &a.Msg)
+				err = l.send(frameIntent, 1+msgLen)
+			} else {
+				out[0] = 0
+				err = l.send(frameIntent, 1)
+			}
+		case frameObserve:
+			t := int64(binary.BigEndian.Uint64(p[0:8]))
+			flags := p[8]
+			var mp *radio.Message
+			if flags&flagMsg != 0 {
+				m := getMsg(p[9:])
+				mp = &m
+			}
+			nd.Recv(t, mp, flags&flagCollided != 0)
+			err = l.send(frameAck, 0)
+		default:
+			panic(fmt.Sprintf("lockstep: node received unexpected frame type %d", typ))
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// coordinator implements radio.Driver over the links.
+type coordinator struct {
+	links []*link
+	fan   int // act-poll goroutines; 1 = strictly sequential
+
+	// intents is the parallel fan-out's result array, indexed by
+	// live-list position so placement, not scheduling, decides order.
+	intents []intent
+}
+
+type intent struct {
+	transmit bool
+	msg      radio.Message
+}
+
+// actOne runs one act request/reply exchange on l.
+func actOne(l *link, t int64) intent {
+	binary.BigEndian.PutUint64(l.stage()[0:8], uint64(t))
+	if err := l.send(frameAct, 8); err != nil {
+		panic(fmt.Sprintf("lockstep: act send: %v", err))
+	}
+	typ, p, err := l.recv()
+	if err != nil || typ != frameIntent {
+		panic(fmt.Sprintf("lockstep: act reply: type %d, %v", typ, err))
+	}
+	if p[0]&flagTransmit == 0 {
+		return intent{}
+	}
+	return intent{transmit: true, msg: getMsg(p[1:])}
+}
+
+// ActAll implements radio.Driver: poll every live node and append the
+// transmitters in ascending id order.
+func (c *coordinator) ActAll(t int64, live []int32, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
+	if c.fan > 1 && len(live) > 1 {
+		return c.actParallel(t, live, tx, msgs)
+	}
+	for _, v := range live {
+		if in := actOne(c.links[v], t); in.transmit {
+			tx = append(tx, v)
+			msgs = append(msgs, in.msg)
+		}
+	}
+	return tx, msgs
+}
+
+// actParallel fans the act polls across worker goroutines walking an
+// atomic cursor. Each result lands at its live-list index, and the
+// append below runs after the join in ascending order, so the transmit
+// list is byte-identical to the sequential poll at any scheduling.
+func (c *coordinator) actParallel(t int64, live []int32, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
+	if cap(c.intents) < len(live) {
+		c.intents = make([]intent, len(live))
+	}
+	res := c.intents[:len(live)]
+	workers := c.fan
+	if workers > len(live) {
+		workers = len(live)
+	}
+	var cur atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cur.Add(1)) - 1
+				if i >= len(live) {
+					return
+				}
+				res[i] = actOne(c.links[live[i]], t)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, v := range live {
+		if res[i].transmit {
+			tx = append(tx, v)
+			msgs = append(msgs, res[i].msg)
+		}
+	}
+	return tx, msgs
+}
+
+// Observe implements radio.Driver: forward one listener outcome and wait
+// for the ack, which orders the node's Recv side effects (Progress
+// counters, protocol state) before the engine's next action.
+func (c *coordinator) Observe(t int64, v int32, msg *radio.Message, collided bool) {
+	l := c.links[v]
+	p := l.stage()
+	binary.BigEndian.PutUint64(p[0:8], uint64(t))
+	var flags byte
+	n := 9
+	if msg != nil {
+		flags |= flagMsg
+		putMsg(p[9:], msg)
+		n += msgLen
+	}
+	if collided {
+		flags |= flagCollided
+	}
+	p[8] = flags
+	if err := l.send(frameObserve, n); err != nil {
+		panic(fmt.Sprintf("lockstep: observe send: %v", err))
+	}
+	typ, _, err := l.recv()
+	if err != nil || typ != frameAck {
+		panic(fmt.Sprintf("lockstep: observe ack: type %d, %v", typ, err))
+	}
+}
+
+var (
+	_ radio.Transport = (*Transport)(nil)
+	_ radio.Driver    = (*coordinator)(nil)
+)

@@ -1,0 +1,352 @@
+package lockstep_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"radionet/internal/graph"
+	"radionet/internal/radio"
+	"radionet/internal/radio/lockstep"
+	"radionet/internal/rng"
+)
+
+// chatter is a deterministic exerciser node: per-node RNG stream, a
+// transmit coin each round, and a running digest folding every
+// observation (delivery payloads, collision reports, silences) so any
+// divergence in what a node hears — not just in what the engine counts —
+// fails the equivalence tests.
+type chatter struct {
+	id     int32
+	r      *rng.Rand
+	p      float64
+	digest uint64
+}
+
+func newChatter(id int, seed uint64, p float64) *chatter {
+	return &chatter{id: int32(id), r: rng.New(seed).Fork(uint64(id)), p: p}
+}
+
+func (c *chatter) Act(t int64) radio.Action {
+	if c.r.Bernoulli(c.p) {
+		return radio.Transmit(radio.Message{Kind: 1, A: t, B: int64(c.id)*31 + 7})
+	}
+	return radio.Listen
+}
+
+func (c *chatter) Recv(t int64, m *radio.Message, collided bool) {
+	h := uint64(t) * 0x9e3779b97f4a7c15
+	switch {
+	case m != nil:
+		h ^= uint64(m.Src)<<32 ^ uint64(m.A)<<16 ^ uint64(m.B) ^ uint64(m.Kind)
+	case collided:
+		h ^= 0xc011
+	default:
+		h ^= 0x51e7
+	}
+	c.digest = c.digest*0x100000001b3 + h
+}
+
+// sleepyChatter starts dormant (Sleeper contract: always Listen, no
+// randomness, silence is a no-op) and wakes on its first delivery or
+// collision report, exercising the retired-dormancy-mask leg of the
+// driver path.
+type sleepyChatter struct {
+	chatter
+	awake bool
+}
+
+func (s *sleepyChatter) Dormant() bool { return !s.awake }
+
+func (s *sleepyChatter) Act(t int64) radio.Action {
+	if !s.awake {
+		return radio.Listen
+	}
+	return s.chatter.Act(t)
+}
+
+func (s *sleepyChatter) Recv(t int64, m *radio.Message, collided bool) {
+	if !s.awake {
+		if m == nil && !collided {
+			return // dormant: silence is invisible
+		}
+		s.awake = true
+	}
+	s.chatter.Recv(t, m, collided)
+}
+
+// trace captures one engine run for comparison: per-round transmitter
+// sets, per-round delivery/collision counts, final metrics and final
+// per-node digests.
+type trace struct {
+	rounds  []string
+	metrics radio.Metrics
+	digests []uint64
+}
+
+type scenario struct {
+	g      *graph.Graph
+	seed   uint64
+	cd     bool
+	sleepy bool
+	shards int
+	rounds int
+	faults func(n int) *radio.FaultPlan
+}
+
+// digestOf reads the node's chatter digest regardless of flavor.
+func digestOf(nd radio.Node) uint64 {
+	switch n := nd.(type) {
+	case *chatter:
+		return n.digest
+	case *sleepyChatter:
+		return n.digest
+	}
+	return 0
+}
+
+// runScenario executes one scenario and returns its trace; tr == nil
+// runs the in-process simulator, otherwise the nodes run behind tr.
+func runScenario(t *testing.T, sc scenario, tr radio.Transport) trace {
+	t.Helper()
+	n := sc.g.N()
+	nodes := make([]radio.Node, n)
+	for i := range nodes {
+		if sc.sleepy && i%3 == 1 {
+			nodes[i] = &sleepyChatter{chatter: *newChatter(i, sc.seed, 0.5)}
+		} else {
+			nodes[i] = newChatter(i, sc.seed, 0.25)
+		}
+	}
+	e := radio.NewEngine(sc.g, nodes)
+	e.CollisionDetection = sc.cd
+	if sc.faults != nil {
+		e.SetFaults(sc.faults(n))
+	}
+	if sc.shards > 1 {
+		e.SetShards(sc.shards)
+	}
+	var out trace
+	e.Hook = func(round int64, transmitters []int32, deliveries, collisions int) {
+		out.rounds = append(out.rounds, fmt.Sprintf("%d:%v/%d/%d", round, transmitters, deliveries, collisions))
+	}
+	if tr != nil {
+		tr.Attach(e)
+		defer tr.Close()
+	}
+	for i := 0; i < sc.rounds; i++ {
+		e.Step()
+	}
+	if tr != nil {
+		// Join the node goroutines before reading their state: digests
+		// live node-side under a transport.
+		tr.Close()
+	}
+	out.metrics = e.Metrics
+	out.digests = make([]uint64, n)
+	for i, nd := range nodes {
+		out.digests[i] = digestOf(nd)
+	}
+	return out
+}
+
+// checkEquivalent pins a lockstep trace to the simulator's, round for
+// round.
+func checkEquivalent(t *testing.T, name string, sim, lk trace) {
+	t.Helper()
+	if sim.metrics != lk.metrics {
+		t.Errorf("%s: metrics diverge: sim %+v, lockstep %+v", name, sim.metrics, lk.metrics)
+	}
+	if len(sim.rounds) != len(lk.rounds) {
+		t.Fatalf("%s: round-trace lengths diverge: %d vs %d", name, len(sim.rounds), len(lk.rounds))
+	}
+	for i := range sim.rounds {
+		if sim.rounds[i] != lk.rounds[i] {
+			t.Fatalf("%s: round %d diverges:\n  sim      %s\n  lockstep %s", name, i, sim.rounds[i], lk.rounds[i])
+		}
+	}
+	for v := range sim.digests {
+		if sim.digests[v] != lk.digests[v] {
+			t.Errorf("%s: node %d observation digest diverges: %#x vs %#x", name, v, sim.digests[v], lk.digests[v])
+		}
+	}
+}
+
+// mixedFaults builds a crash+jam+loss plan covering every overlay leg.
+func mixedFaults(seed uint64) func(n int) *radio.FaultPlan {
+	return func(n int) *radio.FaultPlan {
+		p := radio.NewFaultPlan(n, seed)
+		for v := 1; v < n; v += 5 {
+			p.Crash(v, int64(3+v%7))
+		}
+		for v := 2; v < n; v += 7 {
+			p.Jam(v, 0.2)
+		}
+		for v := 3; v < n; v += 4 {
+			p.Loss(v, 0.3)
+		}
+		return p
+	}
+}
+
+// TestLockstepMatchesSim is the backend-equivalence suite: the same
+// (graph, seed, faults, model) run in-process and over the lockstep
+// backend must agree on every round's transmitter set, delivery and
+// collision counts, the final metrics, and every node's observation
+// digest — the transport-seam analogue of the FaultPlan-vs-Wrap and
+// sharded-vs-unsharded pinnings.
+func TestLockstepMatchesSim(t *testing.T) {
+	scenarios := map[string]scenario{
+		"grid":        {g: graph.Grid(6, 6), seed: 11, rounds: 60},
+		"path-cd":     {g: graph.Path(40), seed: 12, cd: true, rounds: 60},
+		"star-sleepy": {g: graph.Star(33), seed: 13, sleepy: true, rounds: 50},
+		"tree-faults": {g: graph.BalancedTree(3, 4), seed: 14, rounds: 80, faults: mixedFaults(99)},
+		"grid-faults-cd-sleepy": {
+			g: graph.Grid(8, 5), seed: 15, cd: true, sleepy: true, rounds: 70, faults: mixedFaults(7),
+		},
+		"cycle-sharded": {g: graph.Cycle(130), seed: 16, shards: 3, rounds: 40},
+	}
+	for name, sc := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			sim := runScenario(t, sc, nil)
+			lk := runScenario(t, sc, lockstep.New())
+			checkEquivalent(t, name, sim, lk)
+		})
+	}
+}
+
+// TestLockstepTCPMatchesSim pins the loopback-socket variant to the same
+// contract (smaller scenario set: the codec and coordinator are shared,
+// only the byte stream differs).
+func TestLockstepTCPMatchesSim(t *testing.T) {
+	scenarios := map[string]scenario{
+		"grid":        {g: graph.Grid(5, 5), seed: 21, rounds: 40},
+		"tree-faults": {g: graph.BalancedTree(2, 4), seed: 22, rounds: 50, faults: mixedFaults(5)},
+	}
+	for name, sc := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			sim := runScenario(t, sc, nil)
+			lk := runScenario(t, sc, lockstep.NewTCP())
+			checkEquivalent(t, name, sim, lk)
+		})
+	}
+}
+
+// rangeChatter is a marker BulkRangeActor over a chatter population: the
+// engine never calls it under a driver (SetDriver clears Bulk), but its
+// presence is the protocol's declaration that Act touches no cross-node
+// state, which switches the coordinator to the parallel act fan-out.
+type rangeChatter struct{ nodes []radio.Node }
+
+func (rc *rangeChatter) ActBulk(t int64, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
+	return rc.ActBulkRange(t, 0, int32(len(rc.nodes)), tx, msgs)
+}
+
+func (rc *rangeChatter) ActBulkRange(t int64, lo, hi int32, tx []int32, msgs []radio.Message) ([]int32, []radio.Message) {
+	for v := lo; v < hi; v++ {
+		if a := rc.nodes[v].Act(t); a.Transmit {
+			tx = append(tx, v)
+			msgs = append(msgs, a.Msg)
+		}
+	}
+	return tx, msgs
+}
+
+// TestLockstepParallelActRace is the ≥64-goroutine race smoke (run under
+// -race in CI): 80 node goroutines behind the pipe backend with the
+// parallel act fan-out enabled, plus the sequential-observe delivery
+// path, for enough rounds to interleave everything. Output equivalence
+// is still asserted so the parallel fan-out cannot reorder transmit
+// lists.
+func TestLockstepParallelActRace(t *testing.T) {
+	sc := scenario{g: graph.Gnp(80, 0.08, rng.New(3)), seed: 31, rounds: 50}
+	sim := runScenario(t, sc, nil)
+
+	n := sc.g.N()
+	nodes := make([]radio.Node, n)
+	for i := range nodes {
+		nodes[i] = newChatter(i, sc.seed, 0.25)
+	}
+	e := radio.NewEngine(sc.g, nodes)
+	e.Bulk = &rangeChatter{nodes: nodes} // declares Act node-local -> parallel fan-out
+	var lk trace
+	e.Hook = func(round int64, transmitters []int32, deliveries, collisions int) {
+		lk.rounds = append(lk.rounds, fmt.Sprintf("%d:%v/%d/%d", round, transmitters, deliveries, collisions))
+	}
+	tr := lockstep.New()
+	tr.Attach(e)
+	defer tr.Close()
+	for i := 0; i < sc.rounds; i++ {
+		e.Step()
+	}
+	tr.Close()
+	lk.metrics = e.Metrics
+	lk.digests = make([]uint64, n)
+	for i, nd := range nodes {
+		lk.digests[i] = digestOf(nd)
+	}
+	checkEquivalent(t, "parallel-act", sim, lk)
+}
+
+// TestLockstepCloseReleasesEverything is the budget-exhaustion shutdown
+// contract: a run abandoned mid-flight (the lockstep analogue of a
+// budget-exhausted trial) must release every node goroutine and socket
+// on Close, and Close must be idempotent. goleak-style: compare the
+// goroutine count before Attach and after Close, with settling retries.
+func TestLockstepCloseReleasesEverything(t *testing.T) {
+	for _, variant := range []struct {
+		name string
+		mk   func() *lockstep.Transport
+	}{
+		{"pipe", lockstep.New},
+		{"tcp", lockstep.NewTCP},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			g := graph.Grid(8, 8)
+			nodes := make([]radio.Node, g.N())
+			for i := range nodes {
+				nodes[i] = newChatter(i, 41, 0.25)
+			}
+			e := radio.NewEngine(g, nodes)
+			tr := variant.mk()
+			tr.Attach(e)
+			// A short, "budget-exhausted" run: stop well before any
+			// completion notion, with node goroutines mid-conversation.
+			for i := 0; i < 5; i++ {
+				e.Step()
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			for i := 0; ; i++ {
+				if runtime.NumGoroutine() <= before {
+					break
+				}
+				if i >= 100 {
+					t.Fatalf("goroutines leaked: %d before, %d after Close", before, runtime.NumGoroutine())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestLockstepAttachTwicePanics pins the misuse contract.
+func TestLockstepAttachTwicePanics(t *testing.T) {
+	g := graph.Path(2)
+	e := radio.NewEngine(g, []radio.Node{radio.Silent{}, radio.Silent{}})
+	tr := lockstep.New()
+	tr.Attach(e)
+	defer tr.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Attach did not panic")
+		}
+	}()
+	tr.Attach(radio.NewEngine(g, []radio.Node{radio.Silent{}, radio.Silent{}}))
+}

@@ -1,0 +1,12 @@
+package lockstep
+
+import "radionet/internal/radio"
+
+func init() {
+	radio.RegisterTransport("lockstep",
+		"per-node goroutines exchanging length-prefixed round frames over in-process pipes with a lockstep coordinator",
+		func() radio.Transport { return New() })
+	radio.RegisterTransport("lockstep-tcp",
+		"the lockstep coordinator and codec over loopback TCP sockets, one connection per node",
+		func() radio.Transport { return NewTCP() })
+}

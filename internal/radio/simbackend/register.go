@@ -1,0 +1,9 @@
+package simbackend
+
+import "radionet/internal/radio"
+
+func init() {
+	radio.RegisterTransport("sim",
+		"in-process simulated rounds (the default): bitset kernels, sharding, zero per-round indirection",
+		func() radio.Transport { return Transport{} })
+}

@@ -1,0 +1,27 @@
+// Package simbackend registers the in-process simulator as the "sim"
+// transport — the identity backend of the transport seam. The
+// radio.Engine already is the in-process round executor, so Attach
+// installs nothing: the engine keeps its per-node/Bulk Act loops, its
+// bitset delivery kernels, SetShards sharding, the FaultPlan overlay and
+// its hooks exactly as before the seam existed. The backend exists so
+// "sim" resolves through the same registry, flags and matrix axis as
+// every other transport, and so an unspecified transport costs zero
+// indirection.
+package simbackend
+
+import "radionet/internal/radio"
+
+// Transport is the "sim" backend: a stateless no-op binding.
+type Transport struct{}
+
+// Name implements radio.Transport.
+func (Transport) Name() string { return "sim" }
+
+// Attach implements radio.Transport: the engine is already the
+// in-process executor, so there is nothing to install.
+func (Transport) Attach(*radio.Engine) {}
+
+// Close implements radio.Transport.
+func (Transport) Close() error { return nil }
+
+var _ radio.Transport = Transport{}

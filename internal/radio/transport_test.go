@@ -1,0 +1,138 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+
+	"radionet/internal/graph"
+)
+
+// loopDriver is an in-process Driver that drives the engine's own nodes
+// directly — the minimal round executor. Running it must be
+// observationally identical to no driver at all, which pins the driver
+// branches of Step (live-list construction, Observe replay) against the
+// per-node loops they mirror.
+type loopDriver struct{ nodes []Node }
+
+func (d *loopDriver) ActAll(t int64, live []int32, tx []int32, msgs []Message) ([]int32, []Message) {
+	for _, v := range live {
+		if a := d.nodes[v].Act(t); a.Transmit {
+			tx = append(tx, v)
+			msgs = append(msgs, a.Msg)
+		}
+	}
+	return tx, msgs
+}
+
+func (d *loopDriver) Observe(t int64, v int32, msg *Message, collided bool) {
+	d.nodes[v].Recv(t, msg, collided)
+}
+
+// TestDriverMatchesPerNodeLoop: beacon + listeners through a loopDriver
+// reproduce the driverless run's metrics and hook trace.
+func TestDriverMatchesPerNodeLoop(t *testing.T) {
+	run := func(install bool) (Metrics, []int) {
+		g := graph.Star(5)
+		heard := 0
+		nodes := []Node{
+			&FuncNode{RecvFn: func(_ int64, m *Message, _ bool) {
+				if m != nil {
+					heard++
+				}
+			}},
+			&beacon{v: 3}, Silent{}, Silent{}, Silent{},
+		}
+		e := NewEngine(g, nodes)
+		var perRound []int
+		e.Hook = func(_ int64, tx []int32, deliveries, _ int) {
+			perRound = append(perRound, len(tx)*100+deliveries)
+		}
+		if install {
+			e.SetDriver(&loopDriver{nodes: nodes})
+		}
+		for i := 0; i < 8; i++ {
+			e.Step()
+		}
+		if heard != 8 {
+			t.Fatalf("install=%v: center heard %d, want 8", install, heard)
+		}
+		return e.Metrics, perRound
+	}
+	mPlain, trPlain := run(false)
+	mDriven, trDriven := run(true)
+	if mPlain != mDriven {
+		t.Errorf("metrics diverge: plain %+v, driven %+v", mPlain, mDriven)
+	}
+	for i := range trPlain {
+		if trPlain[i] != trDriven[i] {
+			t.Errorf("round %d hook trace diverges: %d vs %d", i, trPlain[i], trDriven[i])
+		}
+	}
+}
+
+// TestSetDriverMisusePanics pins the SetDriver contract: once only,
+// before the first Step, never over Mortal wrapper nodes.
+func TestSetDriverMisusePanics(t *testing.T) {
+	mustPanic := func(name, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+				t.Fatalf("%s: panic %v, want mention of %q", name, r, want)
+			}
+		}()
+		fn()
+	}
+	g := graph.Path(2)
+	d := &loopDriver{}
+	mustPanic("after Step", "before the first Step", func() {
+		e := NewEngine(g, []Node{Silent{}, Silent{}})
+		e.Step()
+		e.SetDriver(d)
+	})
+	mustPanic("twice", "before the first Step", func() {
+		e := NewEngine(g, []Node{Silent{}, Silent{}})
+		e.SetDriver(d)
+		e.SetDriver(d)
+	})
+	mustPanic("mortal nodes", "Mortal", func() {
+		e := NewEngine(g, []Node{&CrashNode{Inner: Silent{}, CrashAt: 1}, Silent{}})
+		e.SetDriver(d)
+	})
+}
+
+// TestSetDriverClearsBulkPaths: installing a driver retires the
+// Bulk/BulkRecv seams (their calls would bypass the driver's nodes).
+func TestSetDriverClearsBulkPaths(t *testing.T) {
+	g := graph.Path(2)
+	nodes := []Node{Silent{}, Silent{}}
+	e := NewEngine(g, nodes)
+	e.Bulk = &bulkBeacons{ids: []int32{0}}
+	e.SetDriver(&loopDriver{nodes: nodes})
+	if e.Bulk != nil || e.BulkRecv != nil {
+		t.Fatal("SetDriver left a bulk fast path installed")
+	}
+	if e.Driver() == nil {
+		t.Fatal("Driver() lost the installed driver")
+	}
+}
+
+// TestTransportRegistry: the built-in backends resolve by name, listings
+// are sorted, and unknown names fail loudly with the known list.
+func TestTransportRegistry(t *testing.T) {
+	if KnownTransport("no-such-backend") {
+		t.Fatal("KnownTransport accepted an unregistered name")
+	}
+	if _, err := NewTransport("no-such-backend"); err == nil || !strings.Contains(err.Error(), "unknown transport") {
+		t.Fatalf("NewTransport(no-such-backend) = %v, want unknown-transport error", err)
+	}
+	ts := Transports()
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Name >= ts[i].Name {
+			t.Fatalf("Transports() unsorted at %d: %q >= %q", i, ts[i-1].Name, ts[i].Name)
+		}
+	}
+}

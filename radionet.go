@@ -218,6 +218,13 @@ type BroadcastOptions struct {
 	// that many goroutines (see radio.Engine.SetShards). Output is
 	// byte-identical at any value; 0 and 1 both mean unsharded.
 	EngineShards int
+	// Transport names the round-executor backend the run executes on:
+	// "" and "sim" mean the in-process simulator, any other registered
+	// backend ("lockstep", "lockstep-tcp"; see radio.Transports) runs each
+	// node as its own goroutine behind the engine's round barrier.
+	// Results are identical across backends; transport-capable algorithms
+	// only.
+	Transport string
 }
 
 // Broadcast delivers value from node src to every node and returns the
@@ -246,6 +253,29 @@ func tuning(cfg Config) any {
 	return cfg
 }
 
+// resolveTransport maps an options-level transport name to a backend
+// instance: nil for the in-process simulator ("" or "sim" — the engine's
+// native loops are the simulator), a fresh radio.Transport otherwise.
+// Non-simulator backends require the descriptor's transport capability.
+func resolveTransport(name string, desc *protocol.Descriptor) (radio.Transport, error) {
+	if name == "" || name == "sim" {
+		return nil, nil
+	}
+	if !desc.Caps.Transport {
+		return nil, fmt.Errorf("radionet: algorithm %q does not support transport backends", desc.Name)
+	}
+	return radio.NewTransport(name)
+}
+
+// closeTransport tears a run's backend down (joining its node goroutines
+// and closing its sockets); reading results only after it returns is what
+// makes them race-free. nil-safe for the simulator.
+func closeTransport(tr radio.Transport) {
+	if tr != nil {
+		tr.Close()
+	}
+}
+
 // Compete runs the paper's generalized primitive: every source in sources
 // holds a message, and on completion all nodes know the highest one
 // (Theorem 4.1). The oblivious baselines run their multi-source
@@ -269,16 +299,23 @@ func (n *Network) Compete(sources map[int]int64, o BroadcastOptions) (Result, er
 	if o.Faults != nil && !desc.Caps.Faults {
 		return Result{}, fmt.Errorf("radionet: algorithm %q does not support fault injection", name)
 	}
-	r, err := desc.Build(protocol.BuildParams{
-		G: n.G, D: n.Diameter, Seed: o.Seed,
-		Sources: sources, Faults: o.Faults, Tuning: tuning(o.Config),
-		Hook:   radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
-		Shards: o.EngineShards,
-	})
+	tr, err := resolveTransport(o.Transport, desc)
 	if err != nil {
 		return Result{}, err
 	}
+	r, err := desc.Build(protocol.BuildParams{
+		G: n.G, D: n.Diameter, Seed: o.Seed,
+		Sources: sources, Faults: o.Faults, Tuning: tuning(o.Config),
+		Hook:      radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
+		Shards:    o.EngineShards,
+		Transport: tr,
+	})
+	if err != nil {
+		closeTransport(tr)
+		return Result{}, err
+	}
 	res := r.Run(o.MaxRounds)
+	closeTransport(tr)
 	return Result{
 		Rounds: res.Rounds, PrecomputeRounds: res.Precompute, Done: res.Done,
 		Reached: res.Reached, ReachTarget: res.ReachTarget,
@@ -329,6 +366,9 @@ type LeaderOptions struct {
 	// that many goroutines (see radio.Engine.SetShards). Output is
 	// byte-identical at any value; 0 and 1 both mean unsharded.
 	EngineShards int
+	// Transport names the round-executor backend (see
+	// BroadcastOptions.Transport).
+	Transport string
 }
 
 // LeaderResult reports a leader election run.
@@ -360,16 +400,23 @@ func (n *Network) LeaderElection(o LeaderOptions) (LeaderResult, error) {
 	if o.Faults != nil && !desc.Caps.Faults {
 		return LeaderResult{}, fmt.Errorf("radionet: leader algorithm %q does not support fault injection", name)
 	}
-	r, err := desc.Build(protocol.BuildParams{
-		G: n.G, D: n.Diameter, Seed: o.Seed,
-		Faults: o.Faults, Tuning: tuning(o.Config),
-		Hook:   radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
-		Shards: o.EngineShards,
-	})
+	tr, err := resolveTransport(o.Transport, desc)
 	if err != nil {
 		return LeaderResult{}, err
 	}
+	r, err := desc.Build(protocol.BuildParams{
+		G: n.G, D: n.Diameter, Seed: o.Seed,
+		Faults: o.Faults, Tuning: tuning(o.Config),
+		Hook:      radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
+		Shards:    o.EngineShards,
+		Transport: tr,
+	})
+	if err != nil {
+		closeTransport(tr)
+		return LeaderResult{}, err
+	}
 	res := r.Run(o.MaxRounds)
+	closeTransport(tr)
 	done := res.Done
 	if done && res.Verify != nil && res.Verify() != nil {
 		done = false
