@@ -312,6 +312,10 @@ func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.F
 		tr = t
 		defer tr.Close()
 	}
+	// Sharded engines park resident workers; close them when the run ends
+	// rather than leaving the teardown to GC.
+	var engines radio.EngineSet
+	defer engines.Close()
 	r, err := desc.Build(protocol.BuildParams{
 		G:         net.G,
 		D:         net.Diameter,
@@ -321,6 +325,7 @@ func registryRun(net *radionet.Network, desc *protocol.Descriptor, fs campaign.F
 		Hook:      obs.NewEngineCollector(reg).Hook(),
 		Shards:    shards,
 		Transport: tr,
+		Engines:   &engines,
 	})
 	if err != nil {
 		return protocol.Result{}, err

@@ -18,18 +18,23 @@ import (
 
 	"radionet/internal/campaign"
 	"radionet/internal/obs"
+	"radionet/internal/precompute"
 )
 
 // SchemaVersion is bumped on any incompatible File change. Version 2
 // added the Shards field (intra-round engine shard count); version 3
 // added the History trajectory (prior runs' headline measurements,
-// appended by cmd/bench -append). Older files still parse (see Parse).
-const SchemaVersion = 3
+// appended by cmd/bench -append); version 4 split the setup phase out
+// of the headline wall time (SetupMS, per-entry setup_ms) and recorded
+// the precompute-cache status (Cache). Older files still parse (see
+// Parse).
+const SchemaVersion = 4
 
-// schemaV1 and schemaV2 are the older versions Parse still accepts.
+// The older versions Parse still accepts.
 const (
 	schemaV1 = 1
 	schemaV2 = 2
+	schemaV3 = 3
 )
 
 // File is one emitted BENCH_<grid>.json: the grid identity, the execution
@@ -57,6 +62,13 @@ type File struct {
 	// simulated-rounds throughput over it.
 	WallMS       float64 `json:"wall_ms"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// SetupMS is the setup-phase wall time — topology materialization and
+	// scratch construction — measured separately from WallMS, which has
+	// always excluded setup (schema 4+).
+	SetupMS float64 `json:"setup_ms,omitempty"`
+	// Cache is the precompute disk-cache status the run executed with:
+	// "off", "cold" or "warm" (schema 4+; see campaign.RunStats.Cache).
+	Cache string `json:"cache,omitempty"`
 	// Entries are the per-configuration records, in configuration order.
 	Entries []obs.ConfigRecord `json:"entries"`
 	// History is the grid's measurement trajectory: the headline numbers
@@ -79,6 +91,10 @@ type HistoryEntry struct {
 	Quick        bool    `json:"quick,omitempty"`
 	WallMS       float64 `json:"wall_ms"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// SetupMS and Cache mirror the File fields (schema 4+; zero/empty on
+	// entries snapshotted from older files).
+	SetupMS float64 `json:"setup_ms,omitempty"`
+	Cache   string  `json:"cache,omitempty"`
 }
 
 // Snapshot condenses the file's current measurement into the history
@@ -94,6 +110,8 @@ func (f *File) Snapshot() HistoryEntry {
 		Quick:        f.Quick,
 		WallMS:       f.WallMS,
 		RoundsPerSec: f.RoundsPerSec,
+		SetupMS:      f.SetupMS,
+		Cache:        f.Cache,
 	}
 }
 
@@ -207,12 +225,15 @@ func LookupGrid(name string) (Grid, bool) {
 // Run executes one grid and assembles its File. workers 0 means
 // GOMAXPROCS; shards is the campaign's EngineShards knob (0 = auto-split
 // spare cores on large graphs, 1 = off — sharding never changes the
-// measured output, only the wall times). The run itself is silent (no
-// sinks) — the measurements come from the campaign's telemetry surface.
-func Run(g Grid, quick bool, workers, shards int) (*File, error) {
+// measured output, only the wall times); store is the optional precompute
+// disk cache (nil = off — caching never changes the measured output
+// either, only the setup-phase wall time the file now reports). The run
+// itself is silent (no sinks) — the measurements come from the campaign's
+// telemetry surface.
+func Run(g Grid, quick bool, workers, shards int, store *precompute.Store) (*File, error) {
 	m := g.Matrix(quick)
 	var st campaign.RunStats
-	c := campaign.Campaign{Matrix: m, Workers: workers, EngineShards: shards, Obs: obs.NewRegistry(), Stats: &st}
+	c := campaign.Campaign{Matrix: m, Workers: workers, EngineShards: shards, Cache: store, Obs: obs.NewRegistry(), Stats: &st}
 	if _, err := c.Run(); err != nil {
 		return nil, fmt.Errorf("bench: grid %s: %w", g.Name, err)
 	}
@@ -237,6 +258,8 @@ func FromStats(grid string, m campaign.Matrix, st *campaign.RunStats, reg *obs.R
 		f.Workers = st.Workers
 		f.Shards = st.Shards
 		f.WallMS = float64(st.Wall.Nanoseconds()) / 1e6
+		f.SetupMS = float64(st.Setup.Nanoseconds()) / 1e6
+		f.Cache = st.Cache
 		for _, cs := range st.Configs {
 			rec := obs.ConfigRecord{
 				Name:        cs.Name,
@@ -246,6 +269,7 @@ func FromStats(grid string, m campaign.Matrix, st *campaign.RunStats, reg *obs.R
 				Failures:    cs.Failures,
 				RoundsMean:  cs.RoundsMean,
 				WallMSTotal: float64(cs.Wall.Nanoseconds()) / 1e6,
+				SetupMS:     float64(cs.Setup.Nanoseconds()) / 1e6,
 			}
 			if cs.Trials > 0 {
 				rec.WallMSMean = rec.WallMSTotal / float64(cs.Trials)
@@ -294,12 +318,48 @@ type fileV2 struct {
 	Entries       []obs.ConfigRecord `json:"entries"`
 }
 
+// fileV3 is the schema-3 wire shape: File with the History trajectory
+// but without the version-4 setup split (setup_ms, cache). A version-3
+// file carrying either is schema drift and fails strict parsing; the
+// per-entry setup_ms smuggling case — entries share the live
+// obs.ConfigRecord shape — is caught by Validate instead.
+type fileV3 struct {
+	SchemaVersion int                `json:"schema_version"`
+	Grid          string             `json:"grid"`
+	Generated     string             `json:"generated,omitempty"`
+	Go            string             `json:"go"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Workers       int                `json:"workers"`
+	Shards        int                `json:"shards,omitempty"`
+	ConfigHash    string             `json:"config_hash"`
+	Quick         bool               `json:"quick,omitempty"`
+	WallMS        float64            `json:"wall_ms"`
+	RoundsPerSec  float64            `json:"rounds_per_sec"`
+	Entries       []obs.ConfigRecord `json:"entries"`
+	History       []historyV3        `json:"history,omitempty"`
+}
+
+// historyV3 is the schema-3 history-entry wire shape: HistoryEntry
+// without setup_ms and cache.
+type historyV3 struct {
+	Generated    string  `json:"generated,omitempty"`
+	Go           string  `json:"go"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	Shards       int     `json:"shards,omitempty"`
+	ConfigHash   string  `json:"config_hash"`
+	Quick        bool    `json:"quick,omitempty"`
+	WallMS       float64 `json:"wall_ms"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
+
 // Parse decodes and validates a bench file, rejecting unknown fields so
 // schema drift fails loudly in CI rather than silently dropping data.
 // Every supported schema version parses strictly against its own wire
 // shape: a version-1 file must not carry version-2 fields, a version-2
-// file must not carry a history, and nothing unknown anywhere; parsed
-// version-1 files report Shards 0.
+// file must not carry a history, a version-3 file must not carry the
+// setup split, and nothing unknown anywhere; parsed version-1 files
+// report Shards 0.
 func Parse(b []byte) (*File, error) {
 	var ver struct {
 		SchemaVersion int `json:"schema_version"`
@@ -346,6 +406,38 @@ func Parse(b []byte) (*File, error) {
 			RoundsPerSec:  v2.RoundsPerSec,
 			Entries:       v2.Entries,
 		}
+	case schemaV3:
+		var v3 fileV3
+		if err := strictUnmarshal(b, &v3); err != nil {
+			return nil, fmt.Errorf("bench: schema %d: %w", schemaV3, err)
+		}
+		f = File{
+			SchemaVersion: v3.SchemaVersion,
+			Grid:          v3.Grid,
+			Generated:     v3.Generated,
+			Go:            v3.Go,
+			GOMAXPROCS:    v3.GOMAXPROCS,
+			Workers:       v3.Workers,
+			Shards:        v3.Shards,
+			ConfigHash:    v3.ConfigHash,
+			Quick:         v3.Quick,
+			WallMS:        v3.WallMS,
+			RoundsPerSec:  v3.RoundsPerSec,
+			Entries:       v3.Entries,
+		}
+		for _, h := range v3.History {
+			f.History = append(f.History, HistoryEntry{
+				Generated:    h.Generated,
+				Go:           h.Go,
+				GOMAXPROCS:   h.GOMAXPROCS,
+				Workers:      h.Workers,
+				Shards:       h.Shards,
+				ConfigHash:   h.ConfigHash,
+				Quick:        h.Quick,
+				WallMS:       h.WallMS,
+				RoundsPerSec: h.RoundsPerSec,
+			})
+		}
 	default:
 		// Validate reports unsupported versions; current-version files
 		// parse against the full shape.
@@ -381,15 +473,43 @@ func (f *File) Validate() error {
 	if f.SchemaVersion < schemaV2 && f.Shards != 0 {
 		return fmt.Errorf("bench: schema_version %d carries shards %d (a version-%d field)", f.SchemaVersion, f.Shards, schemaV2)
 	}
-	if f.SchemaVersion < SchemaVersion && len(f.History) != 0 {
-		return fmt.Errorf("bench: schema_version %d carries a %d-entry history (a version-%d field)", f.SchemaVersion, len(f.History), SchemaVersion)
+	if f.SchemaVersion < schemaV3 && len(f.History) != 0 {
+		return fmt.Errorf("bench: schema_version %d carries a %d-entry history (a version-%d field)", f.SchemaVersion, len(f.History), schemaV3)
+	}
+	if f.SchemaVersion < SchemaVersion {
+		// The setup split is a version-4 field everywhere it can appear —
+		// the top level, history entries and per-config entries (whose wire
+		// shape is the live obs.ConfigRecord, so strict parsing alone cannot
+		// catch a smuggled setup_ms there).
+		if f.SetupMS != 0 || f.Cache != "" {
+			return fmt.Errorf("bench: schema_version %d carries the setup split (version-%d fields)", f.SchemaVersion, SchemaVersion)
+		}
+		for i, h := range f.History {
+			if h.SetupMS != 0 || h.Cache != "" {
+				return fmt.Errorf("bench: schema_version %d history entry %d carries the setup split (version-%d fields)", f.SchemaVersion, i, SchemaVersion)
+			}
+		}
+		for i, e := range f.Entries {
+			if e.SetupMS != 0 {
+				return fmt.Errorf("bench: schema_version %d entry %d carries setup_ms (a version-%d field)", f.SchemaVersion, i, SchemaVersion)
+			}
+		}
 	}
 	if f.Shards < 0 {
 		return fmt.Errorf("bench: negative shards %d", f.Shards)
 	}
+	if f.SetupMS < 0 {
+		return fmt.Errorf("bench: negative setup_ms %v", f.SetupMS)
+	}
+	if err := validCache(f.Cache); err != nil {
+		return err
+	}
 	for i, h := range f.History {
-		if h.WallMS < 0 || h.RoundsPerSec < 0 || h.Shards < 0 {
+		if h.WallMS < 0 || h.RoundsPerSec < 0 || h.Shards < 0 || h.SetupMS < 0 {
 			return fmt.Errorf("bench: grid %s history entry %d: negative measurement", f.Grid, i)
+		}
+		if err := validCache(h.Cache); err != nil {
+			return fmt.Errorf("bench: grid %s history entry %d: %w", f.Grid, i, err)
 		}
 	}
 	if f.Grid == "" {
@@ -406,11 +526,21 @@ func (f *File) Validate() error {
 			return fmt.Errorf("bench: grid %s entry %s: trials %d", f.Grid, e.Name, e.Trials)
 		case e.Failures < 0 || e.Failures > e.Trials:
 			return fmt.Errorf("bench: grid %s entry %s: failures %d of %d trials", f.Grid, e.Name, e.Failures, e.Trials)
-		case e.RoundsMean < 0 || e.WallMSTotal < 0 || e.WallMSMean < 0:
+		case e.RoundsMean < 0 || e.WallMSTotal < 0 || e.WallMSMean < 0 || e.SetupMS < 0:
 			return fmt.Errorf("bench: grid %s entry %s: negative measurement", f.Grid, e.Name)
 		}
 	}
 	return nil
+}
+
+// validCache checks a cache-status value: empty (older schemas, or a run
+// predating the field) or one of the three campaign statuses.
+func validCache(c string) error {
+	switch c {
+	case "", "off", "cold", "warm":
+		return nil
+	}
+	return fmt.Errorf("bench: unknown cache status %q", c)
 }
 
 // WriteFile writes the bench file as indented JSON to path.

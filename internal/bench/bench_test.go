@@ -3,9 +3,11 @@ package bench
 import (
 	"encoding/json"
 	"path/filepath"
-	"radionet/internal/obs"
 	"strings"
 	"testing"
+
+	"radionet/internal/obs"
+	"radionet/internal/precompute"
 )
 
 func TestGridsListedAndResolvable(t *testing.T) {
@@ -34,12 +36,15 @@ func TestGridsListedAndResolvable(t *testing.T) {
 // committed BENCH_*.json files.
 func TestRunQuickRoundTrip(t *testing.T) {
 	g, _ := LookupGrid("decay")
-	f, err := Run(g, true, 0, 0)
+	f, err := Run(g, true, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !f.Quick || f.Grid != "decay" || f.SchemaVersion != SchemaVersion {
 		t.Fatalf("file header wrong: %+v", f)
+	}
+	if f.Cache != "off" {
+		t.Fatalf("cache = %q without a store, want off", f.Cache)
 	}
 	if len(f.Entries) != 2 { // one topology x two algorithms
 		t.Fatalf("entries = %d, want 2", len(f.Entries))
@@ -136,8 +141,65 @@ func TestParseSchemaVersions(t *testing.T) {
 	if _, err := Parse([]byte(v2drift)); err == nil || !strings.Contains(err.Error(), "history") {
 		t.Fatalf("v2 file with v3 field accepted: %v", err)
 	}
-	if _, err := Parse([]byte(`{"schema_version":4,"grid":"g","entries":[` + entry + `]}`)); err == nil {
+	v4 := `{"schema_version":4,"grid":"decay","go":"go1.x","gomaxprocs":4,"workers":4,"shards":4,"config_hash":"h","wall_ms":1,"rounds_per_sec":10,"setup_ms":7,"cache":"warm","entries":[` + entry + `],"history":[` + hist + `]}`
+	f, err = Parse([]byte(v4))
+	if err != nil {
+		t.Fatalf("v4 file rejected: %v", err)
+	}
+	if f.SetupMS != 7 || f.Cache != "warm" {
+		t.Fatalf("v4 parse lost the setup split: %+v", f)
+	}
+	// The setup split is a version-4 field everywhere it can appear.
+	v3drift := `{"schema_version":3,"grid":"decay","go":"go1.x","gomaxprocs":4,"workers":4,"config_hash":"h","wall_ms":1,"rounds_per_sec":10,"setup_ms":7,"entries":[` + entry + `]}`
+	if _, err := Parse([]byte(v3drift)); err == nil || !strings.Contains(err.Error(), "setup_ms") {
+		t.Fatalf("v3 file with top-level setup_ms accepted: %v", err)
+	}
+	smuggled := `{"name":"x","trials":2,"rounds_mean":1,"wall_ms_total":1,"wall_ms_mean":0.5,"setup_ms":3}`
+	v3smuggle := `{"schema_version":3,"grid":"decay","go":"go1.x","gomaxprocs":4,"workers":4,"config_hash":"h","wall_ms":1,"rounds_per_sec":10,"entries":[` + smuggled + `]}`
+	if _, err := Parse([]byte(v3smuggle)); err == nil || !strings.Contains(err.Error(), "setup_ms") {
+		t.Fatalf("v3 file with per-entry setup_ms accepted: %v", err)
+	}
+	badCache := `{"schema_version":4,"grid":"decay","go":"go1.x","gomaxprocs":4,"workers":4,"config_hash":"h","wall_ms":1,"rounds_per_sec":10,"cache":"lukewarm","entries":[` + entry + `]}`
+	if _, err := Parse([]byte(badCache)); err == nil || !strings.Contains(err.Error(), "cache") {
+		t.Fatalf("unknown cache status accepted: %v", err)
+	}
+	if _, err := Parse([]byte(`{"schema_version":5,"grid":"g","entries":[` + entry + `]}`)); err == nil {
 		t.Fatal("future schema version accepted")
+	}
+}
+
+// TestRunCacheEquivalence pins the bench-level cache contract: one grid
+// run with the cache off, cold and warm produces identical deterministic
+// measurements (config hash, trials, rounds), while the file honestly
+// reports which cache state it ran under.
+func TestRunCacheEquivalence(t *testing.T) {
+	g, _ := LookupGrid("decay")
+	dir := t.TempDir()
+	off, err := Run(g, true, 2, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(g, true, 2, 1, precompute.NewStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(g, true, 2, 1, precompute.NewStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Cache != "off" || cold.Cache != "cold" || warm.Cache != "warm" {
+		t.Fatalf("cache statuses: %q %q %q, want off cold warm", off.Cache, cold.Cache, warm.Cache)
+	}
+	for _, f := range []*File{cold, warm} {
+		if f.ConfigHash != off.ConfigHash || len(f.Entries) != len(off.Entries) {
+			t.Fatalf("cache changed the grid shape: %+v vs %+v", f, off)
+		}
+		for i, e := range f.Entries {
+			o := off.Entries[i]
+			if e.Name != o.Name || e.Trials != o.Trials || e.Failures != o.Failures || e.RoundsMean != o.RoundsMean {
+				t.Fatalf("cache changed a measurement: %+v vs %+v", e, o)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"radionet/internal/obs"
+	"radionet/internal/precompute"
+)
+
+// TestCampaignCacheEquivalence is the cache acceptance criterion: every
+// sink's bytes are identical with the precompute cache off, cold and
+// warm, at 1 worker and at 4 — the cache trades setup time, never
+// output. RunStats must honestly report which state each run executed
+// under, and the registry's hit/miss counters must match it.
+func TestCampaignCacheEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full protocol trials")
+	}
+	m := testMatrix(2)
+	bare := runToBuffers(t, Campaign{Matrix: m, Workers: 1})
+	for _, workers := range []int{1, 4} {
+		dir := t.TempDir()
+		for _, want := range []string{"cold", "warm"} {
+			var st RunStats
+			reg := obs.NewRegistry()
+			c := Campaign{Matrix: m, Workers: workers, Cache: precompute.NewStore(dir), Obs: reg, Stats: &st}
+			out := runToBuffers(t, c)
+			for _, f := range []string{"text", "csv", "jsonl"} {
+				if out[f] != bare[f] {
+					t.Fatalf("workers=%d %s cache: %s sink differs from cache-off run:\n-- off --\n%s\n-- %s --\n%s",
+						workers, want, f, bare[f], want, out[f])
+				}
+			}
+			if st.Cache != want {
+				t.Fatalf("workers=%d: cache status %q, want %q", workers, st.Cache, want)
+			}
+			snap := reg.Snapshot()
+			hits, misses := snap.Counters[obs.PrecomputeCacheHits], snap.Counters[obs.PrecomputeCacheMisses]
+			if want == "cold" && misses == 0 {
+				t.Fatalf("workers=%d: cold run recorded no cache misses", workers)
+			}
+			if want == "warm" && (hits == 0 || misses != 0) {
+				t.Fatalf("workers=%d: warm run recorded hits=%d misses=%d", workers, hits, misses)
+			}
+		}
+	}
+}
+
+// TestCampaignCacheCorruptionRebuilds pins the corruption contract end to
+// end: truncating every cached product file between runs forces silent
+// rebuilds — same sink bytes, cache status back to "cold" — and the
+// rewritten files serve the next run warm again.
+func TestCampaignCacheCorruptionRebuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full protocol trials")
+	}
+	m := testMatrix(1)
+	dir := t.TempDir()
+	first := runToBuffers(t, Campaign{Matrix: m, Workers: 2, Cache: precompute.NewStore(dir)})
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corrupted int
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".rnp" {
+			continue
+		}
+		if err := os.Truncate(filepath.Join(dir, e.Name()), 10); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted == 0 {
+		t.Fatal("cold run left no cache files to corrupt")
+	}
+	var st RunStats
+	second := runToBuffers(t, Campaign{Matrix: m, Workers: 2, Cache: precompute.NewStore(dir), Stats: &st})
+	for _, f := range []string{"text", "csv", "jsonl"} {
+		if second[f] != first[f] {
+			t.Fatalf("%s sink differs after cache corruption:\n-- first --\n%s\n-- second --\n%s", f, first[f], second[f])
+		}
+	}
+	if st.Cache != "cold" {
+		t.Fatalf("corrupted cache reported %q, want cold (rebuilt)", st.Cache)
+	}
+	var st3 RunStats
+	runToBuffers(t, Campaign{Matrix: m, Workers: 2, Cache: precompute.NewStore(dir), Stats: &st3})
+	if st3.Cache != "warm" {
+		t.Fatalf("rebuilt cache reported %q, want warm", st3.Cache)
+	}
+}

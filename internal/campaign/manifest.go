@@ -32,8 +32,19 @@ func (cfg *Config) Name() string {
 // manifest needs that the deterministic summaries cannot carry. Point
 // Campaign.Stats at a zero RunStats and Run fills it.
 type RunStats struct {
-	// Wall is the whole-run wall time (expansion through last trial).
+	// Wall is the whole-run wall time (expansion through last trial),
+	// excluding Setup — the semantics Wall has always had: the setup
+	// phase ran before the run clock started even when it was serial and
+	// anonymous.
 	Wall time.Duration
+	// Setup is the setup-phase wall time: topology materialization (graph
+	// build or precompute-cache load) plus scratch construction, measured
+	// from expansion to the first trial dispatch.
+	Setup time.Duration
+	// Cache is the precompute disk-cache status: "off" (no cache
+	// attached), "cold" (at least one product built from source), "warm"
+	// (every product served without building).
+	Cache string
 	// Workers is the resolved worker-pool size the run executed with.
 	Workers int
 	// Shards is the largest intra-round shard count any configuration ran
@@ -56,6 +67,12 @@ type ConfigStats struct {
 	// Wall is the summed execution time of the configuration's trials. It
 	// overlaps across workers, so config walls may sum past RunStats.Wall.
 	Wall time.Duration
+	// Setup is the setup time attributed to this configuration: the
+	// build/load wall of every deduplicated product (topology, scratch)
+	// charged to its first referencing configuration — so sibling configs
+	// sharing the products report 0, and summing Setup over configs never
+	// double-counts shared work.
+	Setup time.Duration
 }
 
 // Hash fingerprints the matrix: the hex sha256 of its canonical JSON
@@ -103,6 +120,8 @@ func (c *Campaign) Manifest(tool string, st *RunStats) *obs.Manifest {
 	if st != nil {
 		m.Workers = st.Workers
 		m.WallMS = durMS(st.Wall)
+		m.SetupMS = durMS(st.Setup)
+		m.Cache = st.Cache
 		for _, cs := range st.Configs {
 			rec := obs.ConfigRecord{
 				Name:        cs.Name,
@@ -112,6 +131,7 @@ func (c *Campaign) Manifest(tool string, st *RunStats) *obs.Manifest {
 				Failures:    cs.Failures,
 				RoundsMean:  cs.RoundsMean,
 				WallMSTotal: durMS(cs.Wall),
+				SetupMS:     durMS(cs.Setup),
 			}
 			if cs.Trials > 0 {
 				rec.WallMSMean = rec.WallMSTotal / float64(cs.Trials)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"radionet/internal/precompute"
 	"radionet/internal/protocol"
 	"radionet/internal/radio"
 
@@ -89,6 +90,70 @@ func NewScratch(cfg *Config) *Scratch {
 		return &Scratch{}
 	}
 	return &Scratch{val: desc.NewScratch(cfg.G, cfg.D, nil)}
+}
+
+// scratchGroupKey identifies one shareable scratch build: the topology
+// product key crossed with the descriptor's declared ScratchKey. Configs
+// differing only in fault spec or transport always group (NewScratch
+// never sees either); configs of different descriptors group exactly when
+// both descriptors declare the same ScratchKey (e.g. broadcast:cd17 and
+// leader:cd17 share "compete/pre").
+type scratchGroupKey struct {
+	topo    precompute.Key
+	scratch string
+}
+
+// buildScratches constructs the per-config scratches for a materialized
+// plan, deduplicated by (topology product, descriptor ScratchKey) and
+// built concurrently across the worker pool. Configs without reusable
+// precomputation get the empty scratch for free; configs whose descriptor
+// opts out of sharing (ScratchKey "") build one scratch per config, as
+// the serial setup phase always did. Each group's build wall time is
+// added to cfgSetup at the group's first config index. Sharing is
+// output-neutral: scratches are seed-independent by contract, and equal
+// group keys imply equal constructor inputs.
+func buildScratches(plan *Plan, workers int, cfgSetup []time.Duration) []*Scratch {
+	scratches := make([]*Scratch, len(plan.Configs))
+	type group struct {
+		first int
+		cfgs  []int
+	}
+	var groups []group
+	gidx := make(map[scratchGroupKey]int)
+	for ci := range plan.Configs {
+		cfg := &plan.Configs[ci]
+		desc, err := lookup(cfg.Spec)
+		if err != nil || desc.NewScratch == nil {
+			scratches[ci] = &Scratch{}
+			continue
+		}
+		if desc.ScratchKey == "" {
+			groups = append(groups, group{first: ci, cfgs: []int{ci}})
+			continue
+		}
+		gk := scratchGroupKey{topo: cfg.Key, scratch: desc.ScratchKey}
+		gi, ok := gidx[gk]
+		if !ok {
+			gi = len(groups)
+			gidx[gk] = gi
+			groups = append(groups, group{first: ci})
+		}
+		groups[gi].cfgs = append(groups[gi].cfgs, ci)
+	}
+	ForEachWorker(workers, len(groups), func(_, gi int) {
+		g := &groups[gi]
+		start := time.Now() //lint:wallclock setup timing is telemetry (manifest/bench only), never part of trial output
+		scr := NewScratch(&plan.Configs[g.first])
+		wall := time.Since(start) //lint:wallclock setup timing is telemetry (manifest/bench only), never part of trial output
+		for _, ci := range g.cfgs {
+			scratches[ci] = scr
+		}
+		// Distinct groups have distinct first indexes, so these writes
+		// never race; Materialize's attribution wrote before this pool
+		// started.
+		cfgSetup[g.first] += wall
+	})
+	return scratches
 }
 
 // RunTrial executes one trial of cfg with the given RNG stream seed.
@@ -191,6 +256,12 @@ func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, opts tria
 		tr = t
 		defer tr.Close()
 	}
+	// Engines built for this trial release their resident shard workers
+	// when the trial ends (sharded engines park k-1 goroutines; without
+	// the deterministic close a long campaign would accumulate them until
+	// GC).
+	var engines radio.EngineSet
+	defer engines.Close()
 	r, err := desc.Build(protocol.BuildParams{
 		G:         cfg.G,
 		D:         cfg.D,
@@ -202,6 +273,7 @@ func runTrial(cfg *Config, seed uint64, maxRounds int64, scr *Scratch, opts tria
 		Shards:    opts.shards,
 		ShardHook: opts.shardHook,
 		Transport: tr,
+		Engines:   &engines,
 	})
 	if err != nil {
 		return TrialResult{Err: err.Error(), Reason: "error"}

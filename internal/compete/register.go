@@ -23,6 +23,9 @@ func init() {
 		BudgetDoc: "8×Budget() (Theorem 4.1 with the implementation's constants)",
 		Order:     40,
 		Caps:      protocol.Caps{Faults: true, Scratch: true, Bulk: true, Transport: true},
+		// Shared with leader:cd17 — both default-tuning scratches are
+		// NewPre(g, d, Config{}), so one build serves both descriptors.
+		ScratchKey: "compete/pre",
 		NewScratch: func(g *graph.Graph, d int, tuning any) any {
 			cfg, err := broadcastTuning(tuning, false)
 			if err != nil {
@@ -42,6 +45,9 @@ func init() {
 		BudgetDoc: "8×Budget()",
 		Order:     30,
 		Caps:      protocol.Caps{Faults: true, Scratch: true, Bulk: true, Transport: true},
+		// Distinct from cd17's key: CurtailLogLog changes the schedule
+		// lengths baked into the precomputation.
+		ScratchKey: "compete/pre-hw16",
 		NewScratch: func(g *graph.Graph, d int, tuning any) any {
 			cfg, err := broadcastTuning(tuning, true)
 			if err != nil {
@@ -54,13 +60,14 @@ func init() {
 		},
 	})
 	protocol.Register(protocol.Descriptor{
-		Task:      protocol.Leader,
-		Name:      "cd17",
-		Label:     "CD17-LE",
-		Summary:   "Algorithm 6 / Theorem 5.2: Θ(log n) random candidates compete, O(D·log n/log D + polylog n) whp — first LE asymptotically equal to broadcast",
-		BudgetDoc: "8×Budget()",
-		Order:     40,
-		Caps:      protocol.Caps{Faults: true, Scratch: true, Bulk: true, Transport: true},
+		Task:       protocol.Leader,
+		Name:       "cd17",
+		Label:      "CD17-LE",
+		Summary:    "Algorithm 6 / Theorem 5.2: Θ(log n) random candidates compete, O(D·log n/log D + polylog n) whp — first LE asymptotically equal to broadcast",
+		BudgetDoc:  "8×Budget()",
+		Order:      40,
+		Caps:       protocol.Caps{Faults: true, Scratch: true, Bulk: true, Transport: true},
+		ScratchKey: "compete/pre", // see broadcast:cd17
 		NewScratch: func(g *graph.Graph, d int, tuning any) any {
 			cfg, err := leaderTuning(tuning)
 			if err != nil {

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"radionet/internal/rng"
+)
+
+// TestFromCSRRoundTrip rebuilds generator graphs from their raw CSR arrays
+// and checks the result is structurally identical.
+func TestFromCSRRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		Path(17),
+		Grid(5, 7),
+		PathOfCliques(4, 6),
+		Gnp(300, 0.03, rng.New(7)),
+		RandomTree(500, rng.New(9)),
+		NewBuilder("empty", 0).Build(),
+		NewBuilder("isolated", 3).Build(),
+	}
+	for _, g := range graphs {
+		off, adj := g.CSR()
+		got, err := FromCSR(g.Name(), g.N(), off, adj)
+		if err != nil {
+			t.Fatalf("%s: FromCSR: %v", g, err)
+		}
+		if got.N() != g.N() || got.M() != g.M() || got.Name() != g.Name() {
+			t.Fatalf("%s: round-trip mismatch: got %s", g, got)
+		}
+		for v := 0; v < g.N(); v++ {
+			nb, gb := g.Neighbors(v), got.Neighbors(v)
+			if len(nb) != len(gb) {
+				t.Fatalf("%s: node %d degree mismatch", g, v)
+			}
+			for i := range nb {
+				if nb[i] != gb[i] {
+					t.Fatalf("%s: node %d neighbor mismatch", g, v)
+				}
+			}
+		}
+	}
+}
+
+// TestFromCSRRejectsCorrupt feeds FromCSR structurally invalid arrays; every
+// case must be rejected with a descriptive error, never adopted.
+func TestFromCSRRejectsCorrupt(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		off  []int32
+		adj  []int32
+		want string
+	}{
+		{"off-length", 2, []int32{0, 1}, []int32{1}, "len(off)"},
+		{"off-origin", 2, []int32{1, 1, 2}, []int32{1, 0}, "off[0]"},
+		{"off-monotone", 2, []int32{0, 2, 1}, []int32{1}, "monotone"},
+		{"off-span", 2, []int32{0, 1, 2}, []int32{1, 0, 1}, "off[n]"},
+		{"odd-entries", 3, []int32{0, 1, 1, 1}, []int32{1}, "odd"},
+		{"neighbor-range", 1, []int32{0, 2}, []int32{1, -1}, "out of range"},
+		{"self-loop", 2, []int32{0, 1, 2}, []int32{0, 0}, "self-loop"},
+		{"unsorted", 3, []int32{0, 2, 4, 6}, []int32{2, 1, 0, 2, 0, 1}, "ascending"},
+		{"duplicate", 2, []int32{0, 2, 4}, []int32{1, 1, 0, 0}, "ascending"},
+		{"asymmetric-forward", 3, []int32{0, 1, 2, 2}, []int32{1, 2}, "reverse"},
+		// Backward-only stray entries with even total count: 1 and 2 each
+		// list 0 as a neighbor but 0 lists nobody.
+		{"asymmetric-backward", 3, []int32{0, 0, 1, 2}, []int32{0, 0}, "reverse"},
+	}
+	for _, tc := range cases {
+		_, err := FromCSR("corrupt", tc.n, tc.off, tc.adj)
+		if err == nil {
+			t.Errorf("%s: FromCSR accepted corrupt input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReserve checks Reserve prevents reallocation for the declared count
+// and is safe to call with zero or after edges exist.
+func TestReserve(t *testing.T) {
+	b := NewBuilder("r", 100)
+	b.Reserve(0)
+	b.Reserve(-1)
+	b.AddEdge(0, 1)
+	b.Reserve(50)
+	head := &b.edges[0]
+	for i := 0; i < 50; i++ {
+		b.AddEdge(i, i+2)
+	}
+	if head != &b.edges[0] {
+		t.Fatal("Reserve(50) did not prevent reallocation")
+	}
+	g := b.Build()
+	if g.M() != 51 {
+		t.Fatalf("M = %d, want 51", g.M())
+	}
+}

@@ -11,6 +11,7 @@ import (
 // Path returns the path graph on n nodes (diameter n-1).
 func Path(n int) *Graph {
 	b := NewBuilder("path", n)
+	b.Reserve(n - 1)
 	for i := 0; i+1 < n; i++ {
 		b.AddEdge(i, i+1)
 	}
@@ -23,6 +24,7 @@ func Cycle(n int) *Graph {
 		panic("graph: Cycle requires n >= 3")
 	}
 	b := NewBuilder("cycle", n)
+	b.Reserve(n)
 	for i := 0; i < n; i++ {
 		b.AddEdge(i, (i+1)%n)
 	}
@@ -32,6 +34,7 @@ func Cycle(n int) *Graph {
 // Star returns the star on n nodes with center 0 (diameter 2 for n >= 3).
 func Star(n int) *Graph {
 	b := NewBuilder("star", n)
+	b.Reserve(n - 1)
 	for i := 1; i < n; i++ {
 		b.AddEdge(0, i)
 	}
@@ -41,6 +44,7 @@ func Star(n int) *Graph {
 // Complete returns the complete graph on n nodes.
 func Complete(n int) *Graph {
 	b := NewBuilder("complete", n)
+	b.Reserve(n * (n - 1) / 2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			b.AddEdge(i, j)
@@ -55,6 +59,7 @@ func Grid(rows, cols int) *Graph {
 		panic("graph: Grid requires positive dimensions")
 	}
 	b := NewBuilder(fmt.Sprintf("grid%dx%d", rows, cols), rows*cols)
+	b.Reserve(rows*(cols-1) + (rows-1)*cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
@@ -77,6 +82,7 @@ func Hypercube(dim int) *Graph {
 	}
 	n := 1 << dim
 	b := NewBuilder(fmt.Sprintf("hypercube%d", dim), n)
+	b.Reserve(n * dim / 2)
 	for v := 0; v < n; v++ {
 		for bit := 0; bit < dim; bit++ {
 			u := v ^ (1 << bit)
@@ -101,6 +107,7 @@ func BalancedTree(arity, depth int) *Graph {
 		n += layer
 	}
 	b := NewBuilder(fmt.Sprintf("tree%d^%d", arity, depth), n)
+	b.Reserve(n - 1)
 	for v := 1; v < n; v++ {
 		b.AddEdge(v, (v-1)/arity)
 	}
@@ -117,6 +124,7 @@ func PathOfCliques(k, s int) *Graph {
 		panic("graph: PathOfCliques requires k, s >= 1")
 	}
 	b := NewBuilder(fmt.Sprintf("cliquepath%dx%d", k, s), k*s)
+	b.Reserve(k*s*(s-1)/2 + k - 1)
 	for c := 0; c < k; c++ {
 		base := c * s
 		for i := 0; i < s; i++ {
@@ -141,6 +149,7 @@ func Caterpillar(spine, legs int) *Graph {
 	}
 	n := spine * (1 + legs)
 	b := NewBuilder(fmt.Sprintf("caterpillar%dx%d", spine, legs), n)
+	b.Reserve(n - 1)
 	for i := 0; i+1 < spine; i++ {
 		b.AddEdge(i, i+1)
 	}
@@ -160,6 +169,7 @@ func Dumbbell(s, pathLen int) *Graph {
 	}
 	n := 2*s + pathLen
 	b := NewBuilder(fmt.Sprintf("dumbbell%d+%d", s, pathLen), n)
+	b.Reserve(s*(s-1) + pathLen + 1)
 	clique := func(base int) {
 		for i := 0; i < s; i++ {
 			for j := i + 1; j < s; j++ {
@@ -182,6 +192,7 @@ func Dumbbell(s, pathLen int) *Graph {
 // attaches to a uniformly random earlier node. Expected diameter Θ(log n).
 func RandomTree(n int, r *rng.Rand) *Graph {
 	b := NewBuilder("randtree", n)
+	b.Reserve(n - 1)
 	for i := 1; i < n; i++ {
 		b.AddEdge(i, r.Intn(i))
 	}
@@ -193,6 +204,10 @@ func RandomTree(n int, r *rng.Rand) *Graph {
 // connectivity threshold the extra tree edges are a vanishing fraction.
 func Gnp(n int, p float64, r *rng.Rand) *Graph {
 	b := NewBuilder(fmt.Sprintf("gnp%.3f", p), n)
+	// n-1 spanning-tree edges plus the expected G(n,p) edge count; the
+	// geometric-skip loop may overshoot slightly, which just falls back to
+	// one append growth step.
+	b.Reserve(n - 1 + int(p*float64(n)*float64(n-1)/2))
 	for i := 1; i < n; i++ {
 		b.AddEdge(i, r.Intn(i)) // spanning tree for connectivity
 	}
@@ -325,6 +340,7 @@ func RandomRegular(n, d int, r *rng.Rand) *Graph {
 		ok := true
 		seen := make(map[int64]bool, n*d/2)
 		b := NewBuilder(fmt.Sprintf("regular%d", d), n)
+		b.Reserve(n * d / 2)
 		for i := 0; i < len(stubs); i += 2 {
 			u, v := stubs[i], stubs[i+1]
 			if u == v {

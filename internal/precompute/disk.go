@@ -1,0 +1,217 @@
+package precompute
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"radionet/internal/graph"
+)
+
+// Cache file format (<hash>.rnp, little-endian throughout):
+//
+//	magic   "RNPC"                    4 bytes
+//	version u32 = codecVersion
+//	spec    u32 length + bytes        (must equal the key's Spec)
+//	seed    u64                       (must equal the key's Seed)
+//	name    u32 length + bytes        (graph family name)
+//	n       u32                       node count
+//	d       u32                       diameter estimate
+//	off     (n+1) × i32               CSR offsets
+//	adj     off[n] × i32              CSR adjacency
+//	sum     32 bytes                  sha256 of everything above
+//
+// Spec and seed are stored redundantly with the filename hash so a renamed
+// or hash-colliding file can never satisfy the wrong key. Decode is strict:
+// any mismatch — magic, version, key echo, checksum, or a CSR invariant
+// (graph.FromCSR revalidates everything) — reports an error and the caller
+// rebuilds from source. The file is written via a temp file + rename so
+// concurrent processes never observe a torn write.
+
+const (
+	magic        = "RNPC"
+	codecVersion = 1
+	checksumLen  = sha256.Size
+	maxStrLen    = 1 << 16 // spec/name sanity bound for strict decode
+)
+
+var errCorrupt = errors.New("precompute: corrupt cache file")
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, k.Hash()+".rnp")
+}
+
+// loadDisk decodes the cache file for k, returning the product and the
+// file size. Every failure mode (missing file, truncation, bit rot, key
+// mismatch, invalid CSR) surfaces as an error; nothing is partially
+// adopted.
+func (s *Store) loadDisk(k Key) (Product, int64, error) {
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return Product{}, 0, err
+	}
+	p, err := decode(data, k)
+	if err != nil {
+		return Product{}, 0, err
+	}
+	return p, int64(len(data)), nil
+}
+
+// saveDisk encodes p for k, best effort: a failure (unwritable directory,
+// full disk) returns 0 and the run proceeds uncached.
+func (s *Store) saveDisk(k Key, p Product) int64 {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return 0
+	}
+	data := encode(k, p)
+	tmp, err := os.CreateTemp(s.dir, ".rnp-*")
+	if err != nil {
+		return 0
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return 0
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return 0
+	}
+	if err := os.Rename(name, s.path(k)); err != nil {
+		os.Remove(name)
+		return 0
+	}
+	return int64(len(data))
+}
+
+func encode(k Key, p Product) []byte {
+	off, adj := p.G.CSR()
+	n := p.G.N()
+	size := len(magic) + 4 + // version
+		4 + len(k.Spec) + 8 + // spec, seed
+		4 + len(p.G.Name()) + // name
+		4 + 4 + // n, d
+		4*len(off) + 4*len(adj) +
+		checksumLen
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k.Spec)))
+	buf = append(buf, k.Spec...)
+	buf = binary.LittleEndian.AppendUint64(buf, k.Seed)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.G.Name())))
+	buf = append(buf, p.G.Name()...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.D))
+	for _, v := range off {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	for _, v := range adj {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+func decode(data []byte, k Key) (Product, error) {
+	if len(data) < len(magic)+4+checksumLen {
+		return Product{}, errCorrupt
+	}
+	payload, sum := data[:len(data)-checksumLen], data[len(data)-checksumLen:]
+	if sha256.Sum256(payload) != [checksumLen]byte(sum) {
+		return Product{}, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	d := decoder{buf: payload}
+	if string(d.bytes(len(magic))) != magic {
+		return Product{}, fmt.Errorf("%w: bad magic", errCorrupt)
+	}
+	if v := d.u32(); v != codecVersion {
+		return Product{}, fmt.Errorf("%w: version %d, want %d", errCorrupt, v, codecVersion)
+	}
+	spec := string(d.str())
+	seed := d.u64()
+	if spec != k.Spec || seed != k.Seed {
+		return Product{}, fmt.Errorf("%w: key mismatch (file %q/%d, want %q/%d)",
+			errCorrupt, spec, seed, k.Spec, k.Seed)
+	}
+	name := string(d.str())
+	n := d.u32()
+	diam := d.u32()
+	if n > math.MaxInt32 || diam > math.MaxInt32 {
+		return Product{}, errCorrupt
+	}
+	off := d.i32s(int(n) + 1)
+	if d.err != nil || len(off) == 0 || off[int(n)] < 0 {
+		return Product{}, errCorrupt
+	}
+	adj := d.i32s(int(off[int(n)]))
+	if d.err != nil || len(d.buf) != d.pos {
+		return Product{}, errCorrupt
+	}
+	g, err := graph.FromCSR(name, int(n), off, adj)
+	if err != nil {
+		return Product{}, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	return Product{G: g, D: int(diam)}, nil
+}
+
+// decoder is a tiny strict cursor over the payload; any overrun sets err
+// and poisons every later read.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil || n < 0 || d.pos+n > len(d.buf) {
+		d.err = errCorrupt
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() []byte {
+	n := d.u32()
+	if n > maxStrLen {
+		d.err = errCorrupt
+		return nil
+	}
+	return d.bytes(int(n))
+}
+
+func (d *decoder) i32s(n int) []int32 {
+	if d.err != nil || n < 0 || d.pos+4*n > len(d.buf) {
+		d.err = errCorrupt
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(d.buf[d.pos+4*i:]))
+	}
+	d.pos += 4 * n
+	return out
+}

@@ -204,6 +204,11 @@ type BuildParams struct {
 	// owns the transport's lifecycle (one engine per transport, Close when
 	// the run ends). nil runs in-process, exactly as before the seam.
 	Transport radio.Transport
+	// Engines, if non-nil, collects every engine the runner constructs
+	// (ApplyEngine registers automatically) so the caller can release
+	// their resident shard workers deterministically when the trial ends
+	// (radio.EngineSet.Close). nil defers teardown to the GC cleanup.
+	Engines *radio.EngineSet
 }
 
 // ApplyEngine wires the params' engine-level knobs (round hook, shard
@@ -222,6 +227,7 @@ func (p BuildParams) ApplyEngine(e *radio.Engine) {
 	if p.Transport != nil {
 		p.Transport.Attach(e)
 	}
+	p.Engines.Add(e)
 }
 
 // Descriptor registers one algorithm for one task.
@@ -248,6 +254,15 @@ type Descriptor struct {
 	// precomputation for a (graph, diameter, tuning) cell; nil when the
 	// algorithm has none. Scratches must be safe for concurrent use.
 	NewScratch func(g *graph.Graph, d int, tuning any) any
+	// ScratchKey, when non-empty, declares that NewScratch's default-
+	// tuning result is interchangeable across every descriptor carrying
+	// the same key: for a fixed (graph, diameter) the constructors
+	// produce equivalent values, so executors (the campaign setup phase,
+	// the facade's per-network memo) may build one scratch per
+	// (topology, key) and share it. Descriptors whose scratch embeds
+	// algorithm-specific tuning must use distinct keys. Only valid
+	// alongside NewScratch; "" opts out of cross-descriptor sharing.
+	ScratchKey string
 	// TrialSources overrides the task-level trial source convention
 	// (Task.TrialSources) for this descriptor — the seam that keeps the
 	// task set genuinely open: a source-driven descriptor under a task

@@ -29,6 +29,9 @@ func Register(d Descriptor) {
 	if d.Caps.Scratch != (d.NewScratch != nil) {
 		panic(fmt.Sprintf("protocol: %s:%s Caps.Scratch disagrees with NewScratch", d.Task, d.Name))
 	}
+	if d.ScratchKey != "" && d.NewScratch == nil {
+		panic(fmt.Sprintf("protocol: %s:%s declares a ScratchKey without NewScratch", d.Task, d.Name))
+	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if byName[d.Task] == nil {

@@ -87,21 +87,25 @@ type shardState struct {
 	busy       int64 // accumulated busy nanos, flushed to ShardHook
 }
 
-// maxShards caps SetShards: beyond it the per-wave goroutine spawn
-// overhead dwarfs any win and the shard arenas waste memory.
+// maxShards caps SetShards: beyond it the per-wave barrier overhead
+// dwarfs any win and the shard arenas (and resident workers) waste
+// memory.
 const maxShards = 256
 
 // Shards returns the configured intra-round shard count (>= 1).
 func (e *Engine) Shards() int { return e.shards }
 
 // SetShards partitions the transmit-marking and listener-classify passes
-// of every subsequent Step across k goroutines (k-1 spawned, one on the
-// caller). It must be called before the first Step. Output is bit-exact
-// at any k — see the package comment for the argument — so the knob is
-// pure mechanical sympathy: worth it from roughly n >= 3*10^4 on
-// otherwise idle cores, a small constant overhead below that. k is capped
-// at the engine's word count (extra shards would own empty ranges) and at
-// maxShards.
+// of every subsequent Step across k goroutines: k-1 resident workers
+// spawned here and parked on command channels between waves (see
+// workers.go), one wave on the caller. It must be called before the first
+// Step. Output is bit-exact at any k — see the package comment for the
+// argument — so the knob is pure mechanical sympathy: worth it from
+// roughly n >= 3*10^4 on otherwise idle cores, a small constant overhead
+// below that. k is capped at the engine's word count (extra shards would
+// own empty ranges) and at maxShards. The workers are released by
+// Engine.Close or, failing that, by a GC cleanup once the engine is
+// unreachable.
 func (e *Engine) SetShards(k int) {
 	if e.round != 0 {
 		panic("radio: SetShards must be called before the first Step")
@@ -115,6 +119,7 @@ func (e *Engine) SetShards(k int) {
 	if k > maxShards {
 		k = maxShards
 	}
+	e.Close() // re-call: release any previous pool before resizing
 	e.shards = k
 	e.sh = make([]shardState, k)
 	base, rem := 0, 0
@@ -147,6 +152,9 @@ func (e *Engine) SetShards(k int) {
 			st.collided = make([]uint64, e.words)
 			st.dirty = make([]uint64, len(e.dirty))
 		}
+	}
+	if k > 1 {
+		e.spawnWorkers(k)
 	}
 }
 
@@ -444,22 +452,51 @@ func (st *shardState) timedClassify() {
 	st.busy += time.Since(t0).Nanoseconds() //lint:wallclock shard busy telemetry, gated on ShardHook and output-neutral
 }
 
-// goAct/goMark/goClassify run one shard's wave on a spawned goroutine;
-// shard 0 always runs inline on the caller.
+// Wave commands for the resident shard workers (see Engine.wave and
+// shardWorker in workers.go).
+const (
+	cmdAct uint8 = iota
+	cmdMark
+	cmdClassify
+)
 
-func (st *shardState) goAct() {
-	st.timedAct()
-	st.eng.wg.Done()
+// run dispatches one wave command on this shard.
+//
+//radionet:hotpath
+func (st *shardState) run(cmd uint8) {
+	switch cmd {
+	case cmdAct:
+		st.timedAct()
+	case cmdMark:
+		st.timedMark()
+	default:
+		st.timedClassify()
+	}
 }
 
-func (st *shardState) goMark() {
-	st.timedMark()
-	st.eng.wg.Done()
-}
-
-func (st *shardState) goClassify() {
-	st.timedClassify()
-	st.eng.wg.Done()
+// wave runs one command on every shard: shards 1..k-1 on the resident
+// workers (one channel send each — the workers were spawned at SetShards
+// and park between rounds, replacing the former 3·(k-1) goroutine spawns
+// per round), shard 0 inline on the caller, then the WaitGroup barrier.
+// A closed engine (or one whose worker pool never started) degrades to
+// running every shard inline, sequentially — the identical per-shard code,
+// so output cannot differ.
+//
+//radionet:hotpath
+func (e *Engine) wave(cmd uint8) {
+	if e.workerCmds == nil {
+		for s := 1; s < e.shards; s++ {
+			e.sh[s].run(cmd)
+		}
+		e.sh[0].run(cmd)
+		return
+	}
+	e.wg.Add(e.shards - 1)
+	for _, ch := range e.workerCmds {
+		ch <- cmd
+	}
+	e.sh[0].run(cmd)
+	e.wg.Wait()
 }
 
 // actWave runs the sharded Act phase and concatenates the per-shard
@@ -467,12 +504,7 @@ func (st *shardState) goClassify() {
 //
 //radionet:hotpath
 func (e *Engine) actWave() {
-	e.wg.Add(e.shards - 1)
-	for s := 1; s < e.shards; s++ {
-		go e.sh[s].goAct()
-	}
-	e.sh[0].timedAct()
-	e.wg.Wait()
+	e.wave(cmdAct)
 	for s := range e.sh {
 		st := &e.sh[s]
 		e.transmit = append(e.transmit, st.tx...)
@@ -499,12 +531,7 @@ func (e *Engine) markWave() {
 		e.sh[s].t0, e.sh[s].t1 = at, at+span
 		at += span
 	}
-	e.wg.Add(k - 1)
-	for s := 1; s < k; s++ {
-		go e.sh[s].goMark()
-	}
-	e.sh[0].timedMark()
-	e.wg.Wait()
+	e.wave(cmdMark)
 	e.mergeMarks()
 }
 
@@ -512,12 +539,7 @@ func (e *Engine) markWave() {
 //
 //radionet:hotpath
 func (e *Engine) classifyWave() {
-	e.wg.Add(e.shards - 1)
-	for s := 1; s < e.shards; s++ {
-		go e.sh[s].goClassify()
-	}
-	e.sh[0].timedClassify()
-	e.wg.Wait()
+	e.wave(cmdClassify)
 }
 
 // flushShardBusy reports and resets the accumulated per-shard busy time.

@@ -17,6 +17,7 @@ package radio
 import (
 	"cmp"
 	"fmt"
+	"runtime"
 	"slices"
 	"sync"
 
@@ -257,11 +258,16 @@ type Engine struct {
 
 	// Intra-round sharding (see SetShards): sh[0] is always present and
 	// runs on the caller's goroutine; rangeBulk caches the per-round
-	// BulkRangeActor assertion on Bulk.
-	shards    int
-	sh        []shardState
-	wg        sync.WaitGroup
-	rangeBulk BulkRangeActor
+	// BulkRangeActor assertion on Bulk. workerCmds are the resident wave
+	// workers' command channels (nil when unsharded or after Close — see
+	// workers.go); workerCleanup is the GC fallback that closes them if
+	// the engine is dropped without Close.
+	shards        int
+	sh            []shardState
+	wg            sync.WaitGroup
+	rangeBulk     BulkRangeActor
+	workerCmds    []chan uint8
+	workerCleanup runtime.Cleanup
 
 	// Round-executor driver (see SetDriver): when non-nil the Act and
 	// Recv halves of Step route through it instead of touching e.Nodes;

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 
 	"radionet/internal/cluster"
 	"radionet/internal/compete"
@@ -125,13 +126,54 @@ const (
 type Config = compete.Config
 
 // Network wraps a topology with its (estimated) diameter, the two
-// parameters the model assumes nodes know.
+// parameters the model assumes nodes know. Repeated runs on one Network
+// reuse each algorithm's seed-independent precomputation (e.g. the CD17
+// clustering parameter grid) where the registry marks it shareable —
+// a pure setup-time saving that never changes a run's results.
 type Network struct {
 	G *Graph
 	// Diameter is the hop diameter D. NewNetwork fills it with an
 	// iterated double-sweep estimate (exact on the provided structured
 	// families); set it explicitly when known.
 	Diameter int
+
+	// scratchMu guards scratches, the per-network memo of shareable
+	// descriptor precomputation, keyed by (ScratchKey, diameter) so an
+	// explicit Diameter change never serves a stale product.
+	scratchMu sync.Mutex
+	scratches map[scratchMemoKey]any
+}
+
+// scratchMemoKey identifies one memoized precompute product on a Network:
+// the descriptor's declared sharing key and the diameter it was built at
+// (the graph is fixed per Network).
+type scratchMemoKey struct {
+	key string
+	d   int
+}
+
+// scratchFor returns the network's memoized seed-independent
+// precomputation for desc, building it on first use. Only default-tuned
+// runs share — a custom Config changes the product — and descriptors
+// without a declared ScratchKey opt out of reuse entirely (their scratch
+// is rebuilt inside Build per run, exactly as before). Sharing is
+// output-neutral by the ScratchKey contract (protocol.Descriptor).
+func (n *Network) scratchFor(desc *protocol.Descriptor, tun any) any {
+	if tun != nil || desc.NewScratch == nil || desc.ScratchKey == "" {
+		return nil
+	}
+	k := scratchMemoKey{key: desc.ScratchKey, d: n.Diameter}
+	n.scratchMu.Lock()
+	defer n.scratchMu.Unlock()
+	if v, ok := n.scratches[k]; ok {
+		return v
+	}
+	if n.scratches == nil {
+		n.scratches = make(map[scratchMemoKey]any)
+	}
+	v := desc.NewScratch(n.G, n.Diameter, nil)
+	n.scratches[k] = v
+	return v
 }
 
 // NewNetwork returns a Network for g with an estimated diameter. It
@@ -303,12 +345,19 @@ func (n *Network) Compete(sources map[int]int64, o BroadcastOptions) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
+	// Sharded engines park resident workers; close them when the run
+	// ends rather than leaving the teardown to GC.
+	var engines radio.EngineSet
+	defer engines.Close()
+	tun := tuning(o.Config)
 	r, err := desc.Build(protocol.BuildParams{
 		G: n.G, D: n.Diameter, Seed: o.Seed,
-		Sources: sources, Faults: o.Faults, Tuning: tuning(o.Config),
+		Sources: sources, Faults: o.Faults, Tuning: tun,
+		Scratch:   n.scratchFor(desc, tun),
 		Hook:      radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
 		Shards:    o.EngineShards,
 		Transport: tr,
+		Engines:   &engines,
 	})
 	if err != nil {
 		closeTransport(tr)
@@ -404,12 +453,18 @@ func (n *Network) LeaderElection(o LeaderOptions) (LeaderResult, error) {
 	if err != nil {
 		return LeaderResult{}, err
 	}
+	// See Compete: deterministic resident-worker teardown.
+	var engines radio.EngineSet
+	defer engines.Close()
+	tun := tuning(o.Config)
 	r, err := desc.Build(protocol.BuildParams{
 		G: n.G, D: n.Diameter, Seed: o.Seed,
-		Faults: o.Faults, Tuning: tuning(o.Config),
+		Faults: o.Faults, Tuning: tun,
+		Scratch:   n.scratchFor(desc, tun),
 		Hook:      radio.ChainHooks(o.Hook, obs.NewEngineCollector(o.Metrics).Hook()),
 		Shards:    o.EngineShards,
 		Transport: tr,
+		Engines:   &engines,
 	})
 	if err != nil {
 		closeTransport(tr)
